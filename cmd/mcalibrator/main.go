@@ -1,0 +1,54 @@
+// Command mcalibrator runs the raw calibration loop of Fig. 1 of the
+// paper on one core of a simulated machine and prints the traversed
+// sizes, the average cycles per access and the gradient series used by
+// the cache-level detector.
+//
+// Usage:
+//
+//	mcalibrator -machine dempsey
+//	mcalibrator -machine dunnington -min 4096 -max 33554432 -stride 1024
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"servet"
+	"servet/internal/stats"
+)
+
+func main() {
+	var (
+		machine = flag.String("machine", "dempsey", "machine model")
+		nodes   = flag.Int("nodes", 1, "cluster nodes for multi-node models")
+		coreID  = flag.Int("core", 0, "node-local core to probe")
+		minB    = flag.Int64("min", 0, "smallest array (bytes, 0 = default)")
+		maxB    = flag.Int64("max", 0, "largest array (bytes, 0 = default)")
+		stride  = flag.Int64("stride", 0, "probe stride (bytes, 0 = 1KB)")
+		seed    = flag.Int64("seed", 1, "page placement seed")
+	)
+	flag.Parse()
+
+	m, ok := servet.Models(*nodes)[*machine]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "mcalibrator: unknown machine %q\n", *machine)
+		os.Exit(2)
+	}
+	cal, err := servet.Mcalibrator(m, *coreID, servet.Options{
+		Seed: *seed, MinCacheBytes: *minB, MaxCacheBytes: *maxB, StrideBytes: *stride,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mcalibrator: %v\n", err)
+		os.Exit(1)
+	}
+	g := stats.Gradient(cal.Cycles)
+	fmt.Printf("%12s %14s %10s\n", "size(B)", "cycles/access", "gradient")
+	for i := range cal.Sizes {
+		grad := "-"
+		if i < len(g) {
+			grad = fmt.Sprintf("%.3f", g[i])
+		}
+		fmt.Printf("%12d %14.3f %10s\n", cal.Sizes[i], cal.Cycles[i], grad)
+	}
+}

@@ -1,0 +1,70 @@
+// Command servet runs the full benchmark suite on a simulated machine
+// model and writes the install-time parameter report the paper
+// describes (Section IV-E): a JSON file applications consult to guide
+// their optimizations.
+//
+// Usage:
+//
+//	servet -machine dunnington -out servet.json
+//	servet -machine finisterrae -nodes 2 -seed 3 -noise 0.01
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"servet"
+)
+
+func main() {
+	var (
+		machine = flag.String("machine", "dunnington", "machine model (see -list)")
+		nodes   = flag.Int("nodes", 2, "cluster nodes for multi-node models")
+		out     = flag.String("out", "", "write the JSON report to this path")
+		seed    = flag.Int64("seed", 1, "seed for page placement and noise")
+		noise   = flag.Float64("noise", 0, "relative measurement noise (e.g. 0.02)")
+		quick   = flag.Bool("quick", false, "fewer repetitions (faster, less precise)")
+		list    = flag.Bool("list", false, "list machine models and exit")
+	)
+	flag.Parse()
+
+	models := servet.Models(*nodes)
+	if *list {
+		names := make([]string, 0, len(models))
+		for name := range models {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Println(strings.Join(names, "\n"))
+		return
+	}
+	m, ok := models[*machine]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "servet: unknown machine %q (try -list)\n", *machine)
+		os.Exit(2)
+	}
+
+	opt := servet.Options{Seed: *seed, NoiseSigma: *noise}
+	if *quick {
+		opt.CommReps = 2
+		opt.Allocations = 2
+		opt.BWSizes = []int64{4 << 10, 64 << 10, 1 << 20}
+	}
+
+	rep, err := servet.Run(m, opt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "servet: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(rep.Summary())
+	if *out != "" {
+		if err := rep.Save(*out); err != nil {
+			fmt.Fprintf(os.Stderr, "servet: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nreport written to %s\n", *out)
+	}
+}

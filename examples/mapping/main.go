@@ -1,0 +1,110 @@
+// Mapping: the paper's second Section V use case. Characterize the
+// communication layers of a two-node Finis Terrae cluster with Servet,
+// then place the ranks of a halo-exchange (ring) application so that
+// heavy neighbor traffic stays on fast intra-node channels, and
+// compare the simulated runtime against a placement that scatters
+// neighbors across nodes.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"servet"
+)
+
+const (
+	ranks      = 8
+	iterations = 20
+	haloBytes  = 64 << 10
+)
+
+func main() {
+	m := servet.FinisTerrae(2)
+
+	// 1. Characterize the communication layers (comm benchmark only
+	// needs the report's comm section; a quick configuration keeps the
+	// demo fast).
+	rep, err := servet.Run(m, servet.Options{
+		Seed:     1,
+		CommReps: 3,
+		BWSizes:  []int64{4 << 10, 64 << 10},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("detected %d communication layers on %s x%d nodes:\n",
+		len(rep.Comm.Layers), m.Name, m.Nodes)
+	for _, l := range rep.Comm.Layers {
+		fmt.Printf("  %-12s %7.2f us  (%d pairs)\n", l.Name, l.LatencyUS, len(l.Pairs))
+	}
+
+	// 2. The application's traffic matrix: a ring, each rank talks to
+	// its two neighbors.
+	traffic := make([][]float64, ranks)
+	for i := range traffic {
+		traffic[i] = make([]float64, ranks)
+	}
+	for i := 0; i < ranks; i++ {
+		j := (i + 1) % ranks
+		traffic[i][j] = float64(haloBytes)
+		traffic[j][i] = float64(haloBytes)
+	}
+
+	tuned, err := servet.PlaceProcesses(rep, traffic)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// A deliberately bad baseline: neighbors alternate between nodes,
+	// so every halo crosses the InfiniBand.
+	scattered := make([]int, ranks)
+	for i := range scattered {
+		scattered[i] = (i%2)*m.CoresPerNode + i/2
+	}
+
+	fmt.Printf("\nscattered placement: %v (cost %.0f)\n", scattered,
+		servet.PlacementCost(rep, traffic, scattered))
+	fmt.Printf("servet placement:    %v (cost %.0f)\n", tuned,
+		servet.PlacementCost(rep, traffic, tuned))
+
+	// 3. Run the actual application on the simulated cluster under
+	// both placements.
+	tScattered := runRing(m, scattered)
+	tTuned := runRing(m, tuned)
+	fmt.Printf("\nsimulated runtime, scattered: %v\n", tScattered)
+	fmt.Printf("simulated runtime, tuned:     %v\n", tTuned)
+	fmt.Printf("speedup: %.2fx\n", float64(tScattered)/float64(tTuned))
+	if tTuned >= tScattered {
+		log.Fatal("tuned placement was not faster; mapping failed")
+	}
+}
+
+// runRing executes the halo-exchange ring under a placement and
+// returns the simulated makespan.
+func runRing(m *servet.Machine, placement []int) time.Duration {
+	elapsed, err := servet.RunApp(m, ranks, placement, func(r *servet.Rank) {
+		right := (r.ID() + 1) % r.Size()
+		left := (r.ID() + r.Size() - 1) % r.Size()
+		for it := 0; it < iterations; it++ {
+			// Exchange halos with both neighbors (even ranks send
+			// first to avoid deadlock), then compute.
+			if r.ID()%2 == 0 {
+				r.Send(right, 1, haloBytes)
+				r.Recv(left, 1)
+				r.Send(left, 2, haloBytes)
+				r.Recv(right, 2)
+			} else {
+				r.Recv(left, 1)
+				r.Send(right, 1, haloBytes)
+				r.Recv(right, 2)
+				r.Send(left, 2, haloBytes)
+			}
+			r.Compute(50_000) // cycles of local work
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return elapsed
+}

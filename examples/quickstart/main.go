@@ -1,0 +1,48 @@
+// Quickstart: run the whole Servet suite on the Dunnington model,
+// print the detected hardware parameters, and save/reload the
+// install-time report file that applications consult at run time.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"servet"
+)
+
+func main() {
+	m := servet.Dunnington()
+	fmt.Printf("probing %s (%d cores at %.2f GHz)...\n\n", m.Name, m.TotalCores(), m.ClockGHz)
+
+	rep, err := servet.Run(m, servet.Options{
+		Seed: 1,
+		// Trim the slowest sweeps a little for a snappy demo; drop
+		// these options for full-fidelity runs.
+		CommReps: 5,
+		BWSizes:  []int64{1 << 10, 16 << 10, 256 << 10, 4 << 20},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(rep.Summary())
+
+	// The paper stores the results in a file written once at install
+	// time; applications load it to guide optimizations.
+	dir, err := os.MkdirTemp("", "servet-quickstart")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "servet.json")
+	if err := rep.Save(path); err != nil {
+		log.Fatal(err)
+	}
+	back, err := servet.LoadReport(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nreport round-tripped through %s: machine %s, %d cache levels, %d comm layers\n",
+		path, back.Machine, len(back.Caches), len(back.Comm.Layers))
+}

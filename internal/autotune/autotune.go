@@ -1,0 +1,323 @@
+// Package autotune turns a Servet report into optimization decisions,
+// implementing the use cases of the paper's Section V: cache-aware
+// tiling, communication- and memory-aware process placement, message
+// aggregation on poorly scalable interconnects, and limiting the
+// number of cores that access memory concurrently.
+package autotune
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"servet/internal/report"
+)
+
+// TileSize picks the largest square tile edge (in elements) such that
+// `arrays` tiles of elemBytes-sized elements together fill at most
+// `fraction` of the given cache level. This is the paper's tiling use
+// case: "our suite can help this technique by providing all the cache
+// sizes in a portable way".
+func TileSize(r *report.Report, level int, elemBytes int64, arrays int, fraction float64) (int, error) {
+	c := r.CacheLevel(level)
+	if c == nil {
+		return 0, fmt.Errorf("autotune: report has no cache level %d", level)
+	}
+	if elemBytes <= 0 || arrays <= 0 || fraction <= 0 || fraction > 1 {
+		return 0, fmt.Errorf("autotune: invalid tile parameters (elem %d, arrays %d, fraction %g)", elemBytes, arrays, fraction)
+	}
+	budget := float64(c.SizeBytes) * fraction / float64(arrays)
+	edge := int(math.Sqrt(budget / float64(elemBytes)))
+	if edge < 1 {
+		edge = 1
+	}
+	return edge, nil
+}
+
+// PairLatencies flattens the report's communication layers into a
+// per-core-pair one-way latency table (µs). Every probed pair appears:
+// the suite enumerates all of them.
+func PairLatencies(r *report.Report) map[[2]int]float64 {
+	out := map[[2]int]float64{}
+	for _, l := range r.Comm.Layers {
+		for _, p := range l.Pairs {
+			a, b := p[0], p[1]
+			if a > b {
+				a, b = b, a
+			}
+			out[[2]int{a, b}] = l.LatencyUS
+		}
+	}
+	return out
+}
+
+// PlaceProcesses maps ranks onto cores so that heavily communicating
+// rank pairs land on low-latency core pairs (the paper's mapping use
+// case). traffic is a symmetric matrix of communication volume between
+// ranks; the returned slice maps rank -> global core. The algorithm is
+// a greedy affinity embedding: seed with the heaviest pair on the
+// cheapest core pair, then repeatedly place the rank with the most
+// traffic to already-placed ranks on the free core minimizing its
+// weighted latency.
+func PlaceProcesses(r *report.Report, traffic [][]float64) ([]int, error) {
+	n := len(traffic)
+	totalCores := r.Nodes * r.CoresPerNode
+	if n == 0 {
+		return nil, fmt.Errorf("autotune: empty traffic matrix")
+	}
+	if n > totalCores {
+		return nil, fmt.Errorf("autotune: %d ranks exceed %d cores", n, totalCores)
+	}
+	for i := range traffic {
+		if len(traffic[i]) != n {
+			return nil, fmt.Errorf("autotune: traffic matrix is not square")
+		}
+	}
+	lat := PairLatencies(r)
+	latency := func(a, b int) float64 {
+		if a == b {
+			return 0
+		}
+		if a > b {
+			a, b = b, a
+		}
+		if l, ok := lat[[2]int{a, b}]; ok {
+			return l
+		}
+		// Unprobed pair (single-rank worlds): assume the worst layer.
+		worst := 0.0
+		for _, l := range r.Comm.Layers {
+			if l.LatencyUS > worst {
+				worst = l.LatencyUS
+			}
+		}
+		return worst
+	}
+
+	placement := make([]int, n)
+	for i := range placement {
+		placement[i] = -1
+	}
+	usedCore := make([]bool, totalCores)
+
+	// Seed: heaviest rank pair on the cheapest core pair.
+	ra, rb := heaviestPair(traffic)
+	ca, cb := cheapestCorePair(totalCores, latency)
+	placement[ra], placement[rb] = ca, cb
+	usedCore[ca], usedCore[cb] = true, true
+	if n == 1 {
+		placement[0] = 0
+		return placement, nil
+	}
+
+	for placedCount := 2; placedCount < n; placedCount++ {
+		// Rank with the most traffic to placed ranks.
+		bestRank, bestVol := -1, -1.0
+		for rk := 0; rk < n; rk++ {
+			if placement[rk] >= 0 {
+				continue
+			}
+			vol := 0.0
+			for other := 0; other < n; other++ {
+				if placement[other] >= 0 {
+					vol += traffic[rk][other]
+				}
+			}
+			if vol > bestVol {
+				bestRank, bestVol = rk, vol
+			}
+		}
+		// Free core minimizing weighted latency to placed ranks.
+		bestCore, bestCost := -1, math.Inf(1)
+		for c := 0; c < totalCores; c++ {
+			if usedCore[c] {
+				continue
+			}
+			cost := 0.0
+			for other := 0; other < n; other++ {
+				if placement[other] >= 0 {
+					cost += traffic[bestRank][other] * latency(c, placement[other])
+				}
+			}
+			if cost < bestCost {
+				bestCore, bestCost = c, cost
+			}
+		}
+		placement[bestRank] = bestCore
+		usedCore[bestCore] = true
+	}
+	return placement, nil
+}
+
+func heaviestPair(traffic [][]float64) (int, int) {
+	n := len(traffic)
+	ra, rb, best := 0, 1%n, -1.0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if traffic[i][j] > best {
+				ra, rb, best = i, j, traffic[i][j]
+			}
+		}
+	}
+	return ra, rb
+}
+
+func cheapestCorePair(totalCores int, latency func(a, b int) float64) (int, int) {
+	ca, cb, best := 0, 1%totalCores, math.Inf(1)
+	for i := 0; i < totalCores; i++ {
+		for j := i + 1; j < totalCores; j++ {
+			if l := latency(i, j); l < best {
+				ca, cb, best = i, j, l
+			}
+		}
+	}
+	return ca, cb
+}
+
+// PlacementCost evaluates a placement: the traffic-weighted sum of
+// pairwise latencies (µs·volume). Lower is better; use it to compare
+// a tuned placement against a naive one.
+func PlacementCost(r *report.Report, traffic [][]float64, placement []int) float64 {
+	lat := PairLatencies(r)
+	cost := 0.0
+	for i := range traffic {
+		for j := i + 1; j < len(traffic); j++ {
+			a, b := placement[i], placement[j]
+			if a > b {
+				a, b = b, a
+			}
+			cost += traffic[i][j] * lat[[2]int{a, b}]
+		}
+	}
+	return cost
+}
+
+// BestConcurrency picks the number of concurrently memory-accessing
+// cores that maximizes aggregate bandwidth while each core keeps at
+// least minEfficiency of the isolated-core bandwidth — the paper's
+// "in some cases it could be even better not to use some cores"
+// use case. levelIdx selects the overhead level whose scalability
+// curve to use.
+func BestConcurrency(r *report.Report, levelIdx int, minEfficiency float64) (int, error) {
+	if levelIdx < 0 || levelIdx >= len(r.Memory.Levels) {
+		return 0, fmt.Errorf("autotune: no overhead level %d", levelIdx)
+	}
+	curve := r.Memory.Levels[levelIdx].Scalability
+	if len(curve) == 0 {
+		return 0, fmt.Errorf("autotune: overhead level %d has no scalability curve", levelIdx)
+	}
+	ref := r.Memory.RefBandwidthGBs
+	bestN, bestAgg := curve[0].Cores, -1.0
+	for _, pt := range curve {
+		if minEfficiency > 0 && pt.PerCoreGBs < minEfficiency*ref {
+			continue
+		}
+		if pt.AggregateGBs > bestAgg {
+			bestN, bestAgg = pt.Cores, pt.AggregateGBs
+		}
+	}
+	if bestAgg < 0 {
+		// Nothing satisfies the efficiency floor: a single core is the
+		// safe choice.
+		return 1, nil
+	}
+	return bestN, nil
+}
+
+// AggregationAdvice reports whether gathering nMessages of msgBytes
+// into one large message is predicted to beat sending them
+// concurrently over the given layer, with the estimated times (µs) for
+// both strategies. This is the paper's "gathering messages in poorly
+// scalable systems" optimization: "sending concurrently N messages of
+// size S usually costs more than sending one message of size N*S".
+//
+// concurrentUS estimates the completion of the LAST of the N
+// concurrent messages (the makespan): the scalability curve records
+// the mean completion, and under the FIFO sharing that produces poor
+// scalability the makespan is mean * 2N/(N+1). Scalable layers
+// (slowdown ~1) keep their mean and never favor aggregation.
+func AggregationAdvice(layer *report.CommLayer, msgBytes int64, nMessages int) (aggregate bool, concurrentUS, batchedUS float64) {
+	if nMessages <= 1 {
+		one := LatencyForSize(layer, msgBytes)
+		return false, one, one
+	}
+	n := float64(nMessages)
+	mean := LatencyForSize(layer, msgBytes) * SlowdownAt(layer, nMessages)
+	concurrentUS = mean * 2 * n / (n + 1)
+	batchedUS = LatencyForSize(layer, int64(nMessages)*msgBytes)
+	return batchedUS < concurrentUS, concurrentUS, batchedUS
+}
+
+// LatencyForSize estimates the one-way latency (µs) of a message of
+// the given size on a layer by interpolating its bandwidth sweep
+// (linear in size between measured points, extrapolated with the edge
+// bandwidths beyond them).
+func LatencyForSize(layer *report.CommLayer, bytes int64) float64 {
+	pts := layer.Bandwidth
+	if len(pts) == 0 {
+		return layer.LatencyUS
+	}
+	if len(pts) == 1 || bytes <= pts[0].Bytes {
+		// Scale by the first point's effective bandwidth.
+		return pts[0].OneWayUS * float64(bytes) / float64(pts[0].Bytes)
+	}
+	for i := 1; i < len(pts); i++ {
+		if bytes <= pts[i].Bytes {
+			x0, x1 := float64(pts[i-1].Bytes), float64(pts[i].Bytes)
+			y0, y1 := pts[i-1].OneWayUS, pts[i].OneWayUS
+			f := (float64(bytes) - x0) / (x1 - x0)
+			return y0 + f*(y1-y0)
+		}
+	}
+	last := pts[len(pts)-1]
+	// Beyond the sweep: the plateau bandwidth dominates.
+	return last.OneWayUS * float64(bytes) / float64(last.Bytes)
+}
+
+// SlowdownAt estimates the mean-completion slowdown of n concurrent
+// messages from the layer's scalability curve (linear interpolation,
+// clamped at the measured extremes... beyond the last point the
+// slowdown keeps growing linearly with n, which matches a serialized
+// resource).
+func SlowdownAt(layer *report.CommLayer, n int) float64 {
+	pts := layer.Scalability
+	if len(pts) == 0 {
+		return 1
+	}
+	if n <= pts[0].Messages {
+		return pts[0].Slowdown
+	}
+	for i := 1; i < len(pts); i++ {
+		if n <= pts[i].Messages {
+			x0, x1 := float64(pts[i-1].Messages), float64(pts[i].Messages)
+			y0, y1 := pts[i-1].Slowdown, pts[i].Slowdown
+			f := (float64(n) - x0) / (x1 - x0)
+			return y0 + f*(y1-y0)
+		}
+	}
+	// Extrapolate from the last two points.
+	if len(pts) == 1 {
+		return pts[0].Slowdown
+	}
+	a, b := pts[len(pts)-2], pts[len(pts)-1]
+	slope := (b.Slowdown - a.Slowdown) / float64(b.Messages-a.Messages)
+	if slope < 0 {
+		slope = 0
+	}
+	return b.Slowdown + slope*float64(n-b.Messages)
+}
+
+// LayerByName finds a communication layer in the report.
+func LayerByName(r *report.Report, name string) (*report.CommLayer, error) {
+	for i := range r.Comm.Layers {
+		if r.Comm.Layers[i].Name == name {
+			return &r.Comm.Layers[i], nil
+		}
+	}
+	names := make([]string, 0, len(r.Comm.Layers))
+	for _, l := range r.Comm.Layers {
+		names = append(names, l.Name)
+	}
+	sort.Strings(names)
+	return nil, fmt.Errorf("autotune: no layer %q (have %v)", name, names)
+}

@@ -1,0 +1,296 @@
+package autotune
+
+import (
+	"math"
+	"testing"
+
+	"servet/internal/report"
+)
+
+// testReport builds a small report resembling a 4-core machine with
+// one fast pair (0,1), one medium pair (2,3) and slow everything else.
+func testReport() *report.Report {
+	return &report.Report{
+		Machine: "test", Nodes: 1, CoresPerNode: 4,
+		Caches: []report.CacheResult{
+			{Level: 1, SizeBytes: 32 << 10, Method: "gradient"},
+			{Level: 2, SizeBytes: 2 << 20, Method: "probabilistic"},
+		},
+		Memory: report.MemoryResult{
+			RefBandwidthGBs: 4,
+			Levels: []report.OverheadLevel{{
+				BandwidthGBs: 2,
+				Pairs:        [][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}},
+				Groups:       [][]int{{0, 1, 2, 3}},
+				Scalability: []report.ScalPoint{
+					{Cores: 1, PerCoreGBs: 4, AggregateGBs: 4},
+					{Cores: 2, PerCoreGBs: 3, AggregateGBs: 6},
+					{Cores: 3, PerCoreGBs: 2.1, AggregateGBs: 6.3},
+					{Cores: 4, PerCoreGBs: 1.5, AggregateGBs: 6.0},
+				},
+			}},
+		},
+		Comm: report.CommResult{
+			MessageBytes: 32 << 10,
+			Layers: []report.CommLayer{
+				{
+					Name: "fast", LatencyUS: 2,
+					Pairs:          [][2]int{{0, 1}},
+					Representative: [2]int{0, 1},
+					Bandwidth: []report.BWPoint{
+						{Bytes: 1 << 10, OneWayUS: 1, GBs: 1.0},
+						{Bytes: 1 << 20, OneWayUS: 500, GBs: 2.1},
+					},
+					Scalability: []report.CommScalPoint{
+						{Messages: 1, MeanCompletionUS: 2, Slowdown: 1},
+						{Messages: 2, MeanCompletionUS: 2.2, Slowdown: 1.1},
+					},
+				},
+				{
+					Name: "medium", LatencyUS: 5,
+					Pairs:          [][2]int{{2, 3}},
+					Representative: [2]int{2, 3},
+				},
+				{
+					Name: "slow", LatencyUS: 20,
+					Pairs:          [][2]int{{0, 2}, {0, 3}, {1, 2}, {1, 3}},
+					Representative: [2]int{0, 2},
+					Scalability: []report.CommScalPoint{
+						{Messages: 1, MeanCompletionUS: 20, Slowdown: 1},
+						{Messages: 2, MeanCompletionUS: 60, Slowdown: 3},
+					},
+				},
+			},
+		},
+	}
+}
+
+func TestTileSize(t *testing.T) {
+	r := testReport()
+	// L1 32 KB, 2 arrays of float64, half the cache:
+	// budget per array = 8 KB -> 1024 elements -> 32x32.
+	edge, err := TileSize(r, 1, 8, 2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if edge != 32 {
+		t.Errorf("edge = %d, want 32", edge)
+	}
+	// The chosen tile must actually fit.
+	if int64(edge*edge*8*2) > 32<<10/2 {
+		t.Error("tile exceeds budget")
+	}
+}
+
+func TestTileSizeErrors(t *testing.T) {
+	r := testReport()
+	if _, err := TileSize(r, 9, 8, 2, 0.5); err == nil {
+		t.Error("missing level accepted")
+	}
+	if _, err := TileSize(r, 1, 0, 2, 0.5); err == nil {
+		t.Error("zero elem size accepted")
+	}
+	if _, err := TileSize(r, 1, 8, 2, 1.5); err == nil {
+		t.Error("fraction > 1 accepted")
+	}
+	// Tiny cache still yields at least a 1-element tile.
+	edge, err := TileSize(r, 1, 1<<20, 1, 0.01)
+	if err != nil || edge < 1 {
+		t.Errorf("edge = %d, err %v", edge, err)
+	}
+}
+
+func TestPairLatencies(t *testing.T) {
+	lat := PairLatencies(testReport())
+	if lat[[2]int{0, 1}] != 2 || lat[[2]int{2, 3}] != 5 || lat[[2]int{1, 3}] != 20 {
+		t.Errorf("latencies = %v", lat)
+	}
+	if len(lat) != 6 {
+		t.Errorf("pair count = %d, want 6", len(lat))
+	}
+}
+
+func TestPlaceProcessesPutsHeavyPairOnFastCores(t *testing.T) {
+	r := testReport()
+	// Ranks 0 and 1 talk a lot; 2 and 3 barely.
+	traffic := [][]float64{
+		{0, 100, 1, 1},
+		{100, 0, 1, 1},
+		{1, 1, 0, 2},
+		{1, 1, 2, 0},
+	}
+	placement, err := PlaceProcesses(r, traffic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The heavy pair must land on the "fast" layer pair {0,1}.
+	pa, pb := placement[0], placement[1]
+	if pa > pb {
+		pa, pb = pb, pa
+	}
+	if pa != 0 || pb != 1 {
+		t.Errorf("heavy pair placed on cores (%d,%d), want (0,1)", pa, pb)
+	}
+	// All cores distinct.
+	seen := map[int]bool{}
+	for _, c := range placement {
+		if seen[c] {
+			t.Errorf("core %d reused: %v", c, placement)
+		}
+		seen[c] = true
+	}
+	// Tuned placement at least as good as identity.
+	naive := []int{0, 2, 1, 3} // deliberately split the heavy pair
+	if PlacementCost(r, traffic, placement) > PlacementCost(r, traffic, naive) {
+		t.Errorf("tuned placement worse than a bad one")
+	}
+}
+
+func TestPlaceProcessesErrors(t *testing.T) {
+	r := testReport()
+	if _, err := PlaceProcesses(r, nil); err == nil {
+		t.Error("empty matrix accepted")
+	}
+	big := make([][]float64, 9)
+	for i := range big {
+		big[i] = make([]float64, 9)
+	}
+	if _, err := PlaceProcesses(r, big); err == nil {
+		t.Error("too many ranks accepted")
+	}
+	if _, err := PlaceProcesses(r, [][]float64{{0, 1}, {0}}); err == nil {
+		t.Error("ragged matrix accepted")
+	}
+}
+
+func TestPlaceProcessesSingleRank(t *testing.T) {
+	placement, err := PlaceProcesses(testReport(), [][]float64{{0}})
+	if err != nil || len(placement) != 1 || placement[0] != 0 {
+		t.Errorf("placement = %v, err %v", placement, err)
+	}
+}
+
+func TestBestConcurrency(t *testing.T) {
+	r := testReport()
+	// Without an efficiency floor, 3 cores maximize aggregate (6.3).
+	n, err := BestConcurrency(r, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Errorf("best = %d, want 3", n)
+	}
+	// Requiring 75% efficiency (3 GB/s per core) allows only n <= 2.
+	n, err = BestConcurrency(r, 0, 0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("best at 75%% efficiency = %d, want 2", n)
+	}
+	// An impossible floor falls back to one core.
+	n, err = BestConcurrency(r, 0, 1.5)
+	if err != nil || n != 1 {
+		t.Errorf("impossible floor: n=%d err=%v", n, err)
+	}
+	if _, err := BestConcurrency(r, 5, 0); err == nil {
+		t.Error("missing level accepted")
+	}
+}
+
+func TestLatencyForSizeInterpolation(t *testing.T) {
+	r := testReport()
+	layer, err := LayerByName(r, "fast")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At a measured point.
+	if got := LatencyForSize(layer, 1<<10); math.Abs(got-1) > 1e-9 {
+		t.Errorf("lat(1KB) = %g, want 1", got)
+	}
+	// Between points: monotone and bounded.
+	mid := LatencyForSize(layer, 512<<10)
+	if mid <= 1 || mid >= 500 {
+		t.Errorf("lat(512KB) = %g, want within (1, 500)", mid)
+	}
+	// Below the sweep: scaled down.
+	small := LatencyForSize(layer, 512)
+	if small >= 1 {
+		t.Errorf("lat(512B) = %g, want < 1", small)
+	}
+	// Beyond the sweep: scaled up from the plateau.
+	big := LatencyForSize(layer, 4<<20)
+	if big <= 500 {
+		t.Errorf("lat(4MB) = %g, want > 500", big)
+	}
+}
+
+func TestSlowdownAtExtrapolation(t *testing.T) {
+	r := testReport()
+	slow, err := LayerByName(r, "slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := SlowdownAt(slow, 1); got != 1 {
+		t.Errorf("slowdown(1) = %g", got)
+	}
+	if got := SlowdownAt(slow, 2); got != 3 {
+		t.Errorf("slowdown(2) = %g", got)
+	}
+	// Extrapolated beyond the curve: keeps growing.
+	if got := SlowdownAt(slow, 4); got <= 3 {
+		t.Errorf("slowdown(4) = %g, want > 3", got)
+	}
+	empty := &report.CommLayer{}
+	if got := SlowdownAt(empty, 5); got != 1 {
+		t.Errorf("slowdown on empty layer = %g", got)
+	}
+}
+
+func TestAggregationAdvice(t *testing.T) {
+	r := testReport()
+	fast, err := LayerByName(r, "fast")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A nearly flat scalability curve: no reason to aggregate 2
+	// messages (batching doubles the payload latency).
+	agg, conc, batch := AggregationAdvice(fast, 1<<10, 2)
+	if agg {
+		t.Errorf("fast layer advised aggregation (conc %.2f, batch %.2f)", conc, batch)
+	}
+	// One message: nothing to decide.
+	agg, conc, batch = AggregationAdvice(fast, 1<<10, 1)
+	if agg || conc != batch {
+		t.Errorf("single message advice: %v %g %g", agg, conc, batch)
+	}
+}
+
+func TestAggregationAdviceOnSerializedLayer(t *testing.T) {
+	// A layer whose concurrency serializes completely but whose
+	// bandwidth grows with size: aggregation wins.
+	layer := &report.CommLayer{
+		Name: "ib", LatencyUS: 20,
+		Bandwidth: []report.BWPoint{
+			{Bytes: 16 << 10, OneWayUS: 20, GBs: 0.8},
+			{Bytes: 512 << 10, OneWayUS: 420, GBs: 1.2},
+		},
+		Scalability: []report.CommScalPoint{
+			{Messages: 1, MeanCompletionUS: 20, Slowdown: 1},
+			{Messages: 16, MeanCompletionUS: 170, Slowdown: 8.5},
+		},
+	}
+	agg, conc, batch := AggregationAdvice(layer, 16<<10, 16)
+	if !agg {
+		t.Errorf("serialized layer did not advise aggregation (conc %.2f, batch %.2f)", conc, batch)
+	}
+	if batch >= conc {
+		t.Errorf("batch %.2f should beat concurrent %.2f", batch, conc)
+	}
+}
+
+func TestLayerByNameMissing(t *testing.T) {
+	if _, err := LayerByName(testReport(), "nope"); err == nil {
+		t.Error("missing layer accepted")
+	}
+}

@@ -1,0 +1,67 @@
+package autotune
+
+import (
+	"fmt"
+	"math"
+
+	"servet/internal/report"
+)
+
+// CollectiveChoice is a report-driven algorithm recommendation for a
+// broadcast, with the model's predicted times for both candidates.
+type CollectiveChoice struct {
+	// Algorithm is "binomial-tree" or "flat".
+	Algorithm string
+	// TreeUS and FlatUS are the predicted makespans in microseconds.
+	TreeUS, FlatUS float64
+}
+
+// ChooseBcast recommends a broadcast algorithm for nranks ranks
+// exchanging msgBytes over the given layer, using the layer's measured
+// latency/bandwidth profile. The flat fan-out pays one wire latency
+// but serializes n-1 injections at the root; the binomial tree pays
+// ceil(log2 n) full message times on its critical path. On
+// high-latency layers the flat algorithm wins for small communicators,
+// the tree beyond the crossover — the kind of decision autotuned
+// collective libraries make from machine parameters (paper §I, [5-7]).
+func ChooseBcast(layer *report.CommLayer, nranks int, msgBytes int64) (CollectiveChoice, error) {
+	if nranks < 2 {
+		return CollectiveChoice{}, fmt.Errorf("autotune: broadcast needs at least 2 ranks, got %d", nranks)
+	}
+	oneWay := LatencyForSize(layer, msgBytes)
+	wire := zeroSizeLatency(layer)
+	if wire > oneWay {
+		wire = oneWay
+	}
+	inject := oneWay - wire
+	n := float64(nranks)
+	rounds := math.Ceil(math.Log2(n))
+
+	choice := CollectiveChoice{
+		FlatUS: (n-1)*inject + wire,
+		TreeUS: rounds * oneWay,
+	}
+	if choice.TreeUS < choice.FlatUS {
+		choice.Algorithm = "binomial-tree"
+	} else {
+		choice.Algorithm = "flat"
+	}
+	return choice, nil
+}
+
+// zeroSizeLatency extrapolates the layer's bandwidth sweep down to a
+// zero-byte message, approximating the pure wire+software latency.
+func zeroSizeLatency(layer *report.CommLayer) float64 {
+	pts := layer.Bandwidth
+	if len(pts) < 2 {
+		return layer.LatencyUS
+	}
+	b0, b1 := float64(pts[0].Bytes), float64(pts[1].Bytes)
+	y0, y1 := pts[0].OneWayUS, pts[1].OneWayUS
+	slope := (y1 - y0) / (b1 - b0)
+	zero := y0 - slope*b0
+	if zero < 0 {
+		return 0
+	}
+	return zero
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"fmt"
+
+	"servet/internal/mpisim"
+	"servet/internal/report"
+	"servet/internal/stats"
+	"servet/internal/topology"
+)
+
+// CommunicationCosts implements the Fig. 7 benchmark and its two
+// follow-ups. First it measures the one-way latency of an L1-sized
+// message between every pair of cluster cores and clusters the pairs
+// into communication layers (first-match within SimilarTol, as the
+// paper's L/Pl arrays). Then, per layer, it micro-benchmarks a
+// representative pair across message sizes (Fig. 10(c)/(d)) and
+// measures the layer's scalability by sending concurrent messages over
+// a maximal matching of its pairs (Fig. 10(b)).
+//
+// messageBytes is the probe message size; the suite passes the
+// detected L1 capacity, "because it allows to find differences in
+// communications when sharing other cache levels".
+//
+// The returned float64 is the virtual time (ns) the probes consumed on
+// the simulated cluster.
+func CommunicationCosts(m *topology.Machine, messageBytes int64, opt Options) (report.CommResult, float64, error) {
+	opt = opt.withDefaults(m)
+	noise := newNoiser(opt.Seed+307, opt.NoiseSigma)
+	if messageBytes <= 0 {
+		return report.CommResult{}, 0, fmt.Errorf("core: message size must be positive")
+	}
+	res := report.CommResult{MessageBytes: messageBytes}
+	var probeNS float64
+
+	layerSizes := opt.LayerSizes
+	if len(layerSizes) == 0 {
+		layerSizes = []int64{messageBytes}
+	}
+	similarVec := func(a, b []float64) bool {
+		for i := range a {
+			if !stats.Similar(a[i], b[i], opt.SimilarTol) {
+				return false
+			}
+		}
+		return true
+	}
+
+	total := m.TotalCores()
+	var lats [][]float64 // latency vector per layer, one entry per layer size
+	var pairsPerLayer [][][2]int
+	for a := 0; a < total; a++ {
+		for b := a + 1; b < total; b++ {
+			vec := make([]float64, len(layerSizes))
+			for si, size := range layerSizes {
+				l, err := mpisim.PingPongOneWayNS(m, a, b, size, opt.CommReps)
+				if err != nil {
+					return res, probeNS, fmt.Errorf("core: ping-pong %d<->%d: %w", a, b, err)
+				}
+				probeNS += l * float64(2*(opt.CommReps+1))
+				vec[si] = noise.perturb(l)
+			}
+			placed := false
+			for i, rep := range lats {
+				if similarVec(vec, rep) {
+					pairsPerLayer[i] = append(pairsPerLayer[i], [2]int{a, b})
+					placed = true
+					break
+				}
+			}
+			if !placed {
+				lats = append(lats, vec)
+				pairsPerLayer = append(pairsPerLayer, [][2]int{{a, b}})
+			}
+		}
+	}
+
+	for i, latVec := range lats {
+		lat := latVec[0]
+		pairs := pairsPerLayer[i]
+		rep := pairs[0]
+		layer := report.CommLayer{
+			Name:           mpisim.ChannelNameBetween(m, rep[0], rep[1]),
+			LatencyUS:      lat / 1000,
+			Pairs:          pairs,
+			Representative: rep,
+		}
+
+		// Point-to-point bandwidth sweep on the representative pair.
+		for _, size := range opt.BWSizes {
+			oneWay, err := mpisim.PingPongOneWayNS(m, rep[0], rep[1], size, opt.CommReps)
+			if err != nil {
+				return res, probeNS, fmt.Errorf("core: bandwidth sweep %v: %w", rep, err)
+			}
+			probeNS += oneWay * float64(2*(opt.CommReps+1))
+			oneWay = noise.perturb(oneWay)
+			layer.Bandwidth = append(layer.Bandwidth, report.BWPoint{
+				Bytes:    size,
+				OneWayUS: oneWay / 1000,
+				GBs:      float64(size) / oneWay,
+			})
+		}
+
+		// Scalability over a maximal matching of the layer's pairs.
+		matching := stats.GreedyMatching(pairs)
+		var single float64
+		for _, n := range scalCounts(len(matching)) {
+			mean, err := mpisim.ConcurrentMeanCompletionNS(m, matching[:n], messageBytes)
+			if err != nil {
+				return res, probeNS, fmt.Errorf("core: scalability %s n=%d: %w", layer.Name, n, err)
+			}
+			probeNS += mean * float64(n)
+			mean = noise.perturb(mean)
+			if n == 1 {
+				single = mean
+			}
+			layer.Scalability = append(layer.Scalability, report.CommScalPoint{
+				Messages:         n,
+				MeanCompletionUS: mean / 1000,
+				Slowdown:         mean / single,
+			})
+		}
+		res.Layers = append(res.Layers, layer)
+	}
+	return res, probeNS, nil
+}
+
+// scalCounts picks the concurrency levels of the scalability sweep:
+// powers of two up to the matching size, plus the full matching.
+func scalCounts(max int) []int {
+	var out []int
+	for n := 1; n < max; n *= 2 {
+		out = append(out, n)
+	}
+	if max >= 1 {
+		out = append(out, max)
+	}
+	// Deduplicate the final element if max is itself a power of two.
+	if len(out) >= 2 && out[len(out)-1] == out[len(out)-2] {
+		out = out[:len(out)-1]
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"servet/internal/memsys"
+	"servet/internal/topology"
+)
+
+// Calibration is the output of mcalibrator: the traversed array sizes
+// S and the average number of cycles per access C during their
+// traversal (Fig. 1 of the paper).
+type Calibration struct {
+	// Sizes are the traversed array sizes in bytes.
+	Sizes []int64
+	// Cycles are the average cycles per access for each size.
+	Cycles []float64
+	// ProbeCycles is the total cycle cost of every access the probe
+	// issued, including warm-up — the benchmark's own running time on
+	// the simulated machine.
+	ProbeCycles float64
+}
+
+// SizeGrid reproduces the size schedule of Fig. 1: doubling from min
+// up to 2 MB, then growing by 1 MB up to max.
+func SizeGrid(min, max int64) []int64 {
+	var sizes []int64
+	for s := min; s <= max; {
+		sizes = append(sizes, s)
+		if s < 2*topology.MB {
+			s *= 2
+		} else {
+			s += 1 * topology.MB
+		}
+	}
+	return sizes
+}
+
+// Mcalibrator measures the average access cost of strided traversals
+// over the size grid, on one core of the instance. Each size is
+// measured on opt.Allocations freshly allocated arrays (new page
+// placement each time — physically indexed caches behave
+// probabilistically, so one mapping is one sample) with one warm-up
+// traversal (the array initialization of Fig. 1 warms the cache) and
+// opt.Passes measured traversals.
+func Mcalibrator(in *memsys.Instance, core int, opt Options) Calibration {
+	opt = opt.withDefaults(in.Machine())
+	noise := newNoiser(opt.Seed+int64(core)*7919, opt.NoiseSigma)
+	sizes := SizeGrid(opt.MinCacheBytes, opt.MaxCacheBytes)
+	cal := Calibration{Sizes: sizes, Cycles: make([]float64, len(sizes))}
+	sp := in.NewSpace()
+	for i, size := range sizes {
+		sum := 0.0
+		for alloc := 0; alloc < opt.Allocations; alloc++ {
+			in.ResetCaches()
+			a := sp.Alloc(size)
+			avg, total := traverse(in, core, sp, a, opt.StrideBytes, opt.Passes)
+			cal.ProbeCycles += total
+			sp.Free(a)
+			sum += avg
+		}
+		cal.Cycles[i] = noise.perturb(sum / float64(opt.Allocations))
+	}
+	return cal
+}
+
+// traverse walks the array with the probe stride: one warm-up pass and
+// `passes` measured passes. It returns the measured average cycles per
+// access and the total cycles of all passes including warm-up.
+func traverse(in *memsys.Instance, core int, sp *memsys.Space, a *memsys.Array, stride int64, passes int) (avg, total float64) {
+	var measured float64
+	var n int64
+	for pass := 0; pass <= passes; pass++ {
+		for off := int64(0); off < a.Bytes; off += stride {
+			c := in.Access(core, sp, a.Base+off)
+			total += c
+			if pass > 0 {
+				measured += c
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		return 0, total
+	}
+	return measured / float64(n), total
+}
+
+// traversalAddrs builds the address sequence of one strided traversal,
+// for the concurrent streams of the shared-cache benchmark.
+func traversalAddrs(a *memsys.Array, stride int64) []int64 {
+	n := (a.Bytes + stride - 1) / stride
+	addrs := make([]int64, 0, n)
+	for off := int64(0); off < a.Bytes; off += stride {
+		addrs = append(addrs, a.Base+off)
+	}
+	return addrs
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"servet/internal/memsys"
+	"servet/internal/report"
+	"servet/internal/stats"
+	"servet/internal/topology"
+)
+
+// memProbeBytes is the traffic each bandwidth measurement nominally
+// moves, used only to account the probe's simulated running time.
+const memProbeBytes = 16 * topology.MB
+
+// MemoryOverhead implements the Fig. 6 benchmark: measure the
+// STREAM-copy bandwidth of an isolated core (the reference), then of
+// one core of every pair while both access memory concurrently.
+// Bandwidths below the reference are clustered into overhead levels
+// (first-match within SimilarTol, exactly as the paper's algorithm
+// appends to BW/Pm); each level's pairs are folded into core groups
+// and one group per level is swept to produce the effective-bandwidth
+// scalability curve of Fig. 9(b).
+//
+// The returned simulated-probe duration accounts for the traffic the
+// measurements would move.
+func MemoryOverhead(m *topology.Machine, opt Options) (report.MemoryResult, float64) {
+	opt = opt.withDefaults(m)
+	noise := newNoiser(opt.Seed+211, opt.NoiseSigma)
+	var probeNS float64
+
+	measure := func(core int, active []int) float64 {
+		bw := memsys.StreamBandwidth(m, core, active)
+		// Copying memProbeBytes at bw GB/s (1 GB/s = 1 byte/ns).
+		probeNS += float64(memProbeBytes) / bw
+		return noise.perturb(bw)
+	}
+
+	res := report.MemoryResult{RefBandwidthGBs: measure(0, []int{0})}
+	ref := res.RefBandwidthGBs
+
+	// n, BW[0..n-1], Pm[0..n-1] of Fig. 6.
+	var bws []float64
+	var pairsPerLevel [][][2]int
+	for a := 0; a < m.CoresPerNode; a++ {
+		for b := a + 1; b < m.CoresPerNode; b++ {
+			bw := measure(a, []int{a, b})
+			if bw >= ref || stats.Similar(bw, ref, opt.SimilarTol) {
+				continue // no overhead
+			}
+			placed := false
+			for i, level := range bws {
+				if stats.Similar(bw, level, opt.SimilarTol) {
+					pairsPerLevel[i] = append(pairsPerLevel[i], [2]int{a, b})
+					placed = true
+					break
+				}
+			}
+			if !placed {
+				bws = append(bws, bw)
+				pairsPerLevel = append(pairsPerLevel, [][2]int{{a, b}})
+			}
+		}
+	}
+
+	for i, bw := range bws {
+		lvl := report.OverheadLevel{
+			BandwidthGBs: bw,
+			Pairs:        pairsPerLevel[i],
+			Groups:       stats.Components(pairsPerLevel[i]),
+		}
+		lvl.Scalability = scaleGroup(m, lvl, opt, measure)
+		res.Levels = append(res.Levels, lvl)
+	}
+	return res, probeNS
+}
+
+// scaleGroup measures the effective bandwidth while activating the
+// cores of one group of the overhead level one at a time. Cores are
+// added in an order that exercises this level's collisions first: the
+// representative core (first of the first pair), then its partners in
+// the level's pair list, then the rest of the group.
+func scaleGroup(m *topology.Machine, lvl report.OverheadLevel, opt Options, measure func(int, []int) float64) []report.ScalPoint {
+	if len(lvl.Groups) == 0 {
+		return nil
+	}
+	group := lvl.Groups[0]
+	rep := lvl.Pairs[0][0]
+	order := []int{rep}
+	seen := map[int]bool{rep: true}
+	for _, p := range lvl.Pairs {
+		var partner int
+		switch {
+		case p[0] == rep:
+			partner = p[1]
+		case p[1] == rep:
+			partner = p[0]
+		default:
+			continue
+		}
+		if !seen[partner] {
+			order = append(order, partner)
+			seen[partner] = true
+		}
+	}
+	for _, c := range group {
+		if !seen[c] {
+			order = append(order, c)
+			seen[c] = true
+		}
+	}
+
+	var points []report.ScalPoint
+	for n := 1; n <= len(order); n++ {
+		active := order[:n]
+		per := measure(rep, active)
+		agg := 0.0
+		for _, share := range memsys.FairShare(m, active) {
+			agg += share
+		}
+		points = append(points, report.ScalPoint{
+			Cores:        n,
+			PerCoreGBs:   per,
+			AggregateGBs: agg,
+		})
+	}
+	return points
+}

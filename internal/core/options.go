@@ -1,0 +1,141 @@
+// Package core implements the Servet benchmark suite itself — the
+// paper's contribution: mcalibrator (Fig. 1), the probabilistic
+// cache-size estimator (Fig. 3), the cache-level detector (Fig. 4),
+// the shared-cache detector (Fig. 5), the memory-access overhead
+// characterizer (Fig. 6) and the communication-cost characterizer
+// (Fig. 7), plus the orchestration that produces the install-time
+// report (Table I).
+//
+// The probes run against the simulated machines of internal/memsys and
+// internal/mpisim; the algorithms themselves are the unchanged ones of
+// the paper.
+package core
+
+import (
+	"math/rand"
+
+	"servet/internal/topology"
+)
+
+// Options tunes the suite. The zero value means "use the defaults from
+// the paper" (1 KB stride, ratio threshold 2, 10% similarity, ...).
+type Options struct {
+	// MinCacheBytes is the smallest array mcalibrator traverses
+	// (default 4 KB).
+	MinCacheBytes int64
+	// MaxCacheBytes is the largest array (default: the machine's
+	// SuggestedMaxProbeBytes, else 48 MB).
+	MaxCacheBytes int64
+	// StrideBytes is the probe stride (default 1 KB — large enough to
+	// defeat prefetchers, divides every cache size).
+	StrideBytes int64
+	// Passes is the number of measured traversals per array after the
+	// warm-up pass (default 2).
+	Passes int
+	// Allocations is the number of independent allocations averaged
+	// per array size, each with fresh page placement (default 2).
+	Allocations int
+	// GradientThreshold is the minimum gradient that belongs to a
+	// level transition run (default 1.10).
+	GradientThreshold float64
+	// PeakMin is the minimum peak gradient for a run to count as a
+	// transition (default 1.30).
+	PeakMin float64
+	// RatioThreshold flags a pair as sharing a cache when its
+	// concurrent cycle count exceeds this multiple of the reference
+	// (default 2, as in Fig. 5).
+	RatioThreshold float64
+	// SimilarTol is the relative tolerance of the "similar value"
+	// clustering in the overhead and latency benchmarks (default 0.10).
+	SimilarTol float64
+	// CommReps is the number of measured ping-pong round trips
+	// (default 3).
+	CommReps int
+	// BWSizes are the message sizes of the per-layer bandwidth sweep
+	// (default 1 KB ... 4 MB in powers of two).
+	BWSizes []int64
+	// LayerSizes are the message sizes used to group core pairs into
+	// communication layers. The paper notes that "several
+	// representative message sizes can be selected for this task" and
+	// defaults to one, the L1 size; when more than one size is given,
+	// pairs join a layer only if their latencies are similar at every
+	// size, which separates channels that happen to coincide at a
+	// single probe size. Empty means [message size].
+	LayerSizes []int64
+	// Seed drives page placement and measurement noise (default 1).
+	Seed int64
+	// NoiseSigma adds relative Gaussian noise to measurements to
+	// exercise the clustering tolerances (default 0: deterministic).
+	NoiseSigma float64
+}
+
+// withDefaults fills unset fields.
+func (o Options) withDefaults(m *topology.Machine) Options {
+	if o.MinCacheBytes <= 0 {
+		o.MinCacheBytes = 4 * topology.KB
+	}
+	if o.MaxCacheBytes <= 0 {
+		if m != nil && m.SuggestedMaxProbeBytes > 0 {
+			o.MaxCacheBytes = m.SuggestedMaxProbeBytes
+		} else {
+			o.MaxCacheBytes = 48 * topology.MB
+		}
+	}
+	if o.StrideBytes <= 0 {
+		o.StrideBytes = 1 * topology.KB
+	}
+	if o.Passes <= 0 {
+		o.Passes = 2
+	}
+	if o.Allocations <= 0 {
+		o.Allocations = 4
+	}
+	if o.GradientThreshold <= 0 {
+		o.GradientThreshold = 1.10
+	}
+	if o.PeakMin <= 0 {
+		o.PeakMin = 1.30
+	}
+	if o.RatioThreshold <= 0 {
+		o.RatioThreshold = 2.0
+	}
+	if o.SimilarTol <= 0 {
+		o.SimilarTol = 0.10
+	}
+	if o.CommReps <= 0 {
+		o.CommReps = 25
+	}
+	if len(o.BWSizes) == 0 {
+		for s := int64(1 * topology.KB); s <= 4*topology.MB; s *= 2 {
+			o.BWSizes = append(o.BWSizes, s)
+		}
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// noiser perturbs measurements with seeded relative Gaussian noise.
+// With sigma 0 it is the identity.
+type noiser struct {
+	rng   *rand.Rand
+	sigma float64
+}
+
+func newNoiser(seed int64, sigma float64) *noiser {
+	return &noiser{rng: rand.New(rand.NewSource(seed)), sigma: sigma}
+}
+
+// perturb returns v scaled by a factor drawn around 1. Values never
+// turn negative.
+func (n *noiser) perturb(v float64) float64 {
+	if n.sigma <= 0 {
+		return v
+	}
+	f := 1 + n.rng.NormFloat64()*n.sigma
+	if f < 0.01 {
+		f = 0.01
+	}
+	return v * f
+}

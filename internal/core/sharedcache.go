@@ -1,0 +1,120 @@
+package core
+
+import (
+	"servet/internal/memsys"
+	"servet/internal/stats"
+	"servet/internal/topology"
+)
+
+// PairRatio is the measured cache-overhead ratio of one core pair at
+// one cache level (the metric plotted in Fig. 8).
+type PairRatio struct {
+	// A and B are node-local core ids, A < B.
+	A, B int
+	// Ratio is the concurrent cycle count divided by the isolated
+	// reference.
+	Ratio float64
+}
+
+// SharedCacheLevel is the result of the Fig. 5 benchmark for one cache
+// level.
+type SharedCacheLevel struct {
+	// Level is the cache level probed.
+	Level int
+	// ArrayBytes is the per-core array size used ((2/3) of the level's
+	// detected capacity, rounded to the probe stride).
+	ArrayBytes int64
+	// RefCycles is the isolated single-core traversal cost.
+	RefCycles float64
+	// Ratios holds every probed pair with its overhead ratio.
+	Ratios []PairRatio
+	// SharedPairs are the pairs whose ratio exceeded the threshold.
+	SharedPairs [][2]int
+	// Groups are the connected components of SharedPairs: the sets of
+	// cores sharing one cache instance.
+	Groups [][]int
+	// ProbeCycles totals the simulated cost of the level's probes.
+	ProbeCycles float64
+}
+
+// SharedCaches implements the Fig. 5 benchmark: for every detected
+// cache level, traverse a (2/3)·CS array on one isolated core as
+// reference, then on every pair of node-local cores concurrently; a
+// pair whose cycle count is more than RatioThreshold times the
+// reference shares the level's cache. Machines with one core have no
+// pairs and report every level private.
+func SharedCaches(m *topology.Machine, levels []DetectedCache, opt Options) []SharedCacheLevel {
+	var pairs [][2]int
+	for a := 0; a < m.CoresPerNode; a++ {
+		for b := a + 1; b < m.CoresPerNode; b++ {
+			pairs = append(pairs, [2]int{a, b})
+		}
+	}
+	return SharedCachePairs(m, levels, pairs, opt)
+}
+
+// SharedCachePairs is SharedCaches restricted to an explicit list of
+// node-local core pairs (the Fig. 8 plots, for clarity, only show the
+// pairs containing core 0).
+func SharedCachePairs(m *topology.Machine, levels []DetectedCache, pairs [][2]int, opt Options) []SharedCacheLevel {
+	opt = opt.withDefaults(m)
+	noise := newNoiser(opt.Seed+101, opt.NoiseSigma)
+	in := memsys.NewInstance(m, opt.Seed)
+	var out []SharedCacheLevel
+
+	for _, lvl := range levels {
+		arrayBytes := lvl.SizeBytes * 2 / 3
+		arrayBytes -= arrayBytes % opt.StrideBytes
+		if arrayBytes < opt.StrideBytes {
+			arrayBytes = opt.StrideBytes
+		}
+		res := SharedCacheLevel{Level: lvl.Level, ArrayBytes: arrayBytes}
+
+		// Reference: isolated traversal on core 0.
+		in.ResetCaches()
+		sp := in.NewSpace()
+		a := sp.Alloc(arrayBytes)
+		ref, total := traverse(in, 0, sp, a, opt.StrideBytes, opt.Passes)
+		sp.Free(a)
+		res.RefCycles = noise.perturb(ref)
+		res.ProbeCycles += total
+
+		for _, pair := range pairs {
+			pa, pb := pair[0], pair[1]
+			in.ResetCaches()
+			spA, spB := in.NewSpace(), in.NewSpace()
+			arrA, arrB := spA.Alloc(arrayBytes), spB.Alloc(arrayBytes)
+			streams := []memsys.Stream{
+				{Core: pa, Space: spA, Addrs: traversalAddrs(arrA, opt.StrideBytes)},
+				{Core: pb, Space: spB, Addrs: traversalAddrs(arrB, opt.StrideBytes)},
+			}
+			st := memsys.RunConcurrent(in, streams, opt.Passes+1)
+			spA.Free(arrA)
+			spB.Free(arrB)
+			c := noise.perturb((st[0].AvgCycles() + st[1].AvgCycles()) / 2)
+			res.ProbeCycles += st[0].Cycles + st[1].Cycles
+			ratio := c / res.RefCycles
+			res.Ratios = append(res.Ratios, PairRatio{A: pa, B: pb, Ratio: ratio})
+			if ratio > opt.RatioThreshold {
+				res.SharedPairs = append(res.SharedPairs, [2]int{pa, pb})
+			}
+		}
+		res.Groups = stats.Components(res.SharedPairs)
+		out = append(out, res)
+	}
+	return out
+}
+
+// RatioFor returns the measured ratio of a specific pair, or 0 when
+// the pair was not probed.
+func (s *SharedCacheLevel) RatioFor(a, b int) float64 {
+	if a > b {
+		a, b = b, a
+	}
+	for _, r := range s.Ratios {
+		if r.A == a && r.B == b {
+			return r.Ratio
+		}
+	}
+	return 0
+}

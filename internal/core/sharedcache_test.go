@@ -1,0 +1,146 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"servet/internal/topology"
+)
+
+func dunningtonLevels() []DetectedCache {
+	return []DetectedCache{
+		{Level: 1, SizeBytes: 32 * topology.KB},
+		{Level: 2, SizeBytes: 3 * topology.MB},
+		{Level: 3, SizeBytes: 12 * topology.MB},
+	}
+}
+
+// TestSharedCachesDunnington reproduces Fig. 8(a): core 0 shares its
+// L2 with core 12 (not core 1!) and its L3 with {1,2,12,13,14}; the L1
+// is private.
+func TestSharedCachesDunnington(t *testing.T) {
+	if testing.Short() {
+		t.Skip("276 pairs x 3 levels")
+	}
+	m := topology.Dunnington()
+	res := SharedCaches(m, dunningtonLevels(), Options{Seed: 1})
+	if len(res) != 3 {
+		t.Fatalf("levels = %d", len(res))
+	}
+
+	if len(res[0].SharedPairs) != 0 {
+		t.Errorf("L1 flagged pairs: %v", res[0].SharedPairs)
+	}
+
+	wantL2 := make([][]int, 0, 12)
+	for i := 0; i < 12; i++ {
+		wantL2 = append(wantL2, []int{i, i + 12})
+	}
+	if !reflect.DeepEqual(res[1].Groups, wantL2) {
+		t.Errorf("L2 groups = %v, want pairs {i, i+12}", res[1].Groups)
+	}
+
+	wantL3 := [][]int{
+		{0, 1, 2, 12, 13, 14}, {3, 4, 5, 15, 16, 17},
+		{6, 7, 8, 18, 19, 20}, {9, 10, 11, 21, 22, 23},
+	}
+	if !reflect.DeepEqual(res[2].Groups, wantL3) {
+		t.Errorf("L3 groups = %v, want hexacore processors", res[2].Groups)
+	}
+
+	// The ratio metric of Fig. 8(a): the sharing pair well above 2, a
+	// non-sharing pair well below.
+	if r := res[1].RatioFor(0, 12); r <= 2 {
+		t.Errorf("ratio(0,12) at L2 = %.2f, want > 2", r)
+	}
+	if r := res[1].RatioFor(0, 3); r >= 2 {
+		t.Errorf("ratio(0,3) at L2 = %.2f, want < 2", r)
+	}
+}
+
+// TestSharedCachesFinisTerrae reproduces Fig. 8(b): every ratio below
+// 2, all caches private.
+func TestSharedCachesFinisTerrae(t *testing.T) {
+	if testing.Short() {
+		t.Skip("120 pairs x 3 levels")
+	}
+	m := topology.FinisTerrae(1)
+	levels := []DetectedCache{
+		{Level: 1, SizeBytes: 16 * topology.KB},
+		{Level: 2, SizeBytes: 256 * topology.KB},
+		{Level: 3, SizeBytes: 9 * topology.MB},
+	}
+	res := SharedCaches(m, levels, Options{Seed: 1})
+	for _, lvl := range res {
+		if len(lvl.SharedPairs) != 0 {
+			t.Errorf("L%d flagged pairs %v; Finis Terrae caches are private", lvl.Level, lvl.SharedPairs)
+		}
+		for _, pr := range lvl.Ratios {
+			if pr.Ratio > 2 {
+				t.Errorf("L%d ratio(%d,%d) = %.2f > 2", lvl.Level, pr.A, pr.B, pr.Ratio)
+			}
+		}
+	}
+}
+
+// TestSharedCachesSMTLevel1 exercises shared-L1 detection, which none
+// of the paper machines has (SMT-style pairing).
+func TestSharedCachesSMTLevel1(t *testing.T) {
+	m := topology.SMTQuad()
+	levels := []DetectedCache{
+		{Level: 1, SizeBytes: 32 * topology.KB},
+		{Level: 2, SizeBytes: 1 * topology.MB},
+	}
+	res := SharedCaches(m, levels, Options{Seed: 1})
+	wantL1 := [][]int{{0, 1}, {2, 3}}
+	if !reflect.DeepEqual(res[0].Groups, wantL1) {
+		t.Errorf("L1 groups = %v, want %v", res[0].Groups, wantL1)
+	}
+	wantL2 := [][]int{{0, 1, 2, 3}}
+	if !reflect.DeepEqual(res[1].Groups, wantL2) {
+		t.Errorf("L2 groups = %v, want %v", res[1].Groups, wantL2)
+	}
+}
+
+func TestSharedCachesUnicore(t *testing.T) {
+	m := topology.Athlon3200()
+	levels := []DetectedCache{
+		{Level: 1, SizeBytes: 64 * topology.KB},
+		{Level: 2, SizeBytes: 512 * topology.KB},
+	}
+	res := SharedCaches(m, levels, Options{Seed: 1})
+	for _, lvl := range res {
+		if len(lvl.Ratios) != 0 || len(lvl.Groups) != 0 {
+			t.Errorf("unicore L%d probed pairs: %+v", lvl.Level, lvl)
+		}
+		if lvl.RefCycles <= 0 {
+			t.Errorf("unicore L%d missing reference", lvl.Level)
+		}
+	}
+}
+
+func TestSharedCacheRatioForMissingPair(t *testing.T) {
+	lvl := SharedCacheLevel{Ratios: []PairRatio{{A: 0, B: 1, Ratio: 1.5}}}
+	if got := lvl.RatioFor(1, 0); got != 1.5 {
+		t.Errorf("RatioFor(1,0) = %g, want 1.5 (order-insensitive)", got)
+	}
+	if got := lvl.RatioFor(0, 2); got != 0 {
+		t.Errorf("RatioFor missing = %g, want 0", got)
+	}
+}
+
+func TestSharedCachesArrayRounding(t *testing.T) {
+	// A detected size whose 2/3 is not a stride multiple must still
+	// produce a stride-aligned positive array.
+	m := topology.SMTQuad()
+	levels := []DetectedCache{{Level: 1, SizeBytes: 32 * topology.KB}}
+	res := SharedCaches(m, levels, Options{Seed: 1})
+	if res[0].ArrayBytes%1024 != 0 || res[0].ArrayBytes <= 0 {
+		t.Errorf("array bytes = %d, want positive stride multiple", res[0].ArrayBytes)
+	}
+	want := int64(32*topology.KB) * 2 / 3
+	want -= want % 1024
+	if res[0].ArrayBytes != want {
+		t.Errorf("array bytes = %d, want %d", res[0].ArrayBytes, want)
+	}
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"servet/internal/memsys"
+	"servet/internal/report"
+	"servet/internal/topology"
+)
+
+// Suite runs the four Servet benchmarks on a machine and assembles the
+// install-time report.
+type Suite struct {
+	m   *topology.Machine
+	opt Options
+}
+
+// NewSuite validates the machine and prepares a suite with the given
+// options.
+func NewSuite(m *topology.Machine, opt Options) (*Suite, error) {
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return &Suite{m: m, opt: opt.withDefaults(m)}, nil
+}
+
+// Machine returns the machine under test.
+func (s *Suite) Machine() *topology.Machine { return s.m }
+
+// Options returns the effective (default-filled) options.
+func (s *Suite) Options() Options { return s.opt }
+
+// DetectCaches runs mcalibrator on core 0 and the Fig. 4 driver.
+func (s *Suite) DetectCaches() ([]DetectedCache, Calibration) {
+	in := memsys.NewInstance(s.m, s.opt.Seed)
+	cal := Mcalibrator(in, 0, s.opt)
+	return DetectCacheSizes(cal, s.m.PageBytes, s.opt), cal
+}
+
+// Run executes the whole suite: cache sizes, shared caches, memory
+// overhead and communication costs, recording per-stage wall and
+// simulated-probe times (Table I).
+func (s *Suite) Run() (*report.Report, error) {
+	r := &report.Report{
+		Machine:      s.m.Name,
+		ClockGHz:     s.m.ClockGHz,
+		Nodes:        s.m.Nodes,
+		CoresPerNode: s.m.CoresPerNode,
+	}
+
+	// Stage 1: cache size estimate (Section III-A).
+	start := time.Now()
+	levels, cal := s.DetectCaches()
+	simNS := s.m.CyclesToNS(cal.ProbeCycles)
+	r.Timings = append(r.Timings, report.StageTiming{
+		Stage: "cache-size", Wall: time.Since(start),
+		SimulatedProbe: time.Duration(simNS),
+	})
+	if len(levels) == 0 {
+		return nil, fmt.Errorf("core: no cache levels detected on %s", s.m.Name)
+	}
+
+	// Stage 2: determination of shared caches (Section III-B).
+	start = time.Now()
+	shared := SharedCaches(s.m, levels, s.opt)
+	var sharedCycles float64
+	for i, lvl := range levels {
+		cr := report.CacheResult{
+			Level:     lvl.Level,
+			SizeBytes: lvl.SizeBytes,
+			Method:    lvl.Method,
+		}
+		if i < len(shared) {
+			cr.SharedGroups = shared[i].Groups
+			sharedCycles += shared[i].ProbeCycles
+		}
+		r.Caches = append(r.Caches, cr)
+	}
+	r.Timings = append(r.Timings, report.StageTiming{
+		Stage: "shared-caches", Wall: time.Since(start),
+		SimulatedProbe: time.Duration(s.m.CyclesToNS(sharedCycles)),
+	})
+
+	// Stage 3: memory access overhead (Section III-C).
+	start = time.Now()
+	memRes, memNS := MemoryOverhead(s.m, s.opt)
+	r.Memory = memRes
+	r.Timings = append(r.Timings, report.StageTiming{
+		Stage: "memory-overhead", Wall: time.Since(start),
+		SimulatedProbe: time.Duration(memNS),
+	})
+
+	// Stage 4: communication costs (Section III-D), with the detected
+	// L1 size as message size.
+	start = time.Now()
+	commRes, commNS, err := CommunicationCosts(s.m, levels[0].SizeBytes, s.opt)
+	if err != nil {
+		return nil, err
+	}
+	r.Comm = commRes
+	r.Timings = append(r.Timings, report.StageTiming{
+		Stage: "communication-costs", Wall: time.Since(start),
+		SimulatedProbe: time.Duration(commNS),
+	})
+	return r, nil
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"servet/internal/memsys"
+	"servet/internal/stats"
+)
+
+// DetectedTLB is the result of the TLB extension probe.
+type DetectedTLB struct {
+	// Entries is the detected number of TLB entries.
+	Entries int
+	// MissCycles is the measured translation-miss penalty.
+	MissCycles float64
+}
+
+// DetectTLB is an extension probe beyond the paper's suite, in the
+// Saavedra & Smith lineage its mcalibrator descends from: traverse
+// arrays touching exactly one line per page with a stride of
+// page+line bytes (one TLB entry per touch; the extra line offset
+// spreads consecutive pages over different cache sets so cache
+// capacity stays out of the way), and read the entry count off the
+// first gradient jump. ok is false when no transition appears within
+// maxPages (e.g. on machines modelled without a TLB).
+func DetectTLB(in *memsys.Instance, coreID int, opt Options) (DetectedTLB, bool) {
+	opt = opt.withDefaults(in.Machine())
+	m := in.Machine()
+	stride := m.PageBytes + m.Caches[0].LineBytes
+
+	maxPages := 1024
+	// Stay within the L1's line capacity so cache misses never mix
+	// into the signal.
+	if l1Lines := int(m.Caches[0].SizeBytes / m.Caches[0].LineBytes); maxPages > l1Lines/2 {
+		maxPages = l1Lines / 2
+	}
+
+	var pages []int
+	var cycles []float64
+	sp := in.NewSpace()
+	for np := 4; np <= maxPages; np *= 2 {
+		in.ResetCaches()
+		arr := sp.Alloc(int64(np) * stride)
+		var sum float64
+		var n int64
+		for pass := 0; pass <= opt.Passes; pass++ {
+			for i := 0; i < np; i++ {
+				c := in.Access(coreID, sp, arr.Base+int64(i)*stride)
+				if pass > 0 {
+					sum += c
+					n++
+				}
+			}
+		}
+		sp.Free(arr)
+		pages = append(pages, np)
+		cycles = append(cycles, sum/float64(n))
+	}
+
+	g := stats.Gradient(cycles)
+	runs := stats.FindRuns(g, opt.GradientThreshold, opt.PeakMin)
+	if len(runs) == 0 {
+		return DetectedTLB{}, false
+	}
+	k := runs[0].Peak
+	return DetectedTLB{
+		Entries:    pages[k],
+		MissCycles: cycles[len(cycles)-1] - cycles[0],
+	}, true
+}

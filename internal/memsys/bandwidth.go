@@ -1,0 +1,130 @@
+package memsys
+
+import "servet/internal/topology"
+
+// FairShare computes the steady-state streaming bandwidth (GB/s) each
+// active core obtains when all of them access memory concurrently,
+// as a max-min fair allocation ("water-filling") under two kinds of
+// constraints: the per-core limit and every bandwidth-domain capacity
+// (front-side bus, cell memory, ...).
+//
+// All unfrozen cores grow at the same rate until a constraint binds;
+// the cores of the binding constraint freeze at the current level;
+// iteration continues until every core is frozen. This reproduces the
+// concurrent-access collisions the Fig. 6 benchmark characterizes:
+// cores sharing a saturated bus end with lower bandwidth than isolated
+// cores.
+func FairShare(m *topology.Machine, active []int) map[int]float64 {
+	mem := &m.Memory
+	alloc := make(map[int]float64, len(active))
+	if len(active) == 0 {
+		return alloc
+	}
+	frozen := make(map[int]bool, len(active))
+	isActive := make(map[int]bool, len(active))
+	for _, c := range active {
+		isActive[c] = true
+	}
+
+	// Collect domain instances with at least one active member.
+	type inst struct {
+		members  []int
+		capacity float64
+	}
+	var instances []inst
+	for _, d := range mem.Domains {
+		for _, g := range d.Groups {
+			var members []int
+			for _, c := range g {
+				if isActive[c] {
+					members = append(members, c)
+				}
+			}
+			if len(members) > 0 {
+				instances = append(instances, inst{members: members, capacity: d.CapacityGBs})
+			}
+		}
+	}
+
+	level := 0.0
+	for len(frozen) < len(active) {
+		// Next binding water level.
+		next := mem.PerCoreGBs // per-core cap binds at this absolute level
+		for _, it := range instances {
+			frozenSum, unfrozenN := 0.0, 0
+			for _, c := range it.members {
+				if frozen[c] {
+					frozenSum += alloc[c]
+				} else {
+					unfrozenN++
+				}
+			}
+			if unfrozenN == 0 {
+				continue
+			}
+			w := (it.capacity - frozenSum) / float64(unfrozenN)
+			if w < level {
+				w = level // capacities already saturated cannot lower past current level
+			}
+			if w < next {
+				next = w
+			}
+		}
+		level = next
+
+		// Freeze cores of binding constraints.
+		bound := false
+		if level >= mem.PerCoreGBs {
+			for _, c := range active {
+				if !frozen[c] {
+					frozen[c] = true
+					alloc[c] = mem.PerCoreGBs
+					bound = true
+				}
+			}
+		} else {
+			for _, it := range instances {
+				frozenSum, unfrozenN := 0.0, 0
+				for _, c := range it.members {
+					if frozen[c] {
+						frozenSum += alloc[c]
+					} else {
+						unfrozenN++
+					}
+				}
+				if unfrozenN == 0 {
+					continue
+				}
+				w := (it.capacity - frozenSum) / float64(unfrozenN)
+				if w <= level+1e-12 {
+					for _, c := range it.members {
+						if !frozen[c] {
+							frozen[c] = true
+							alloc[c] = level
+							bound = true
+						}
+					}
+				}
+			}
+		}
+		if !bound {
+			// No constraint bound (should not happen): freeze the rest
+			// at the per-core cap to guarantee termination.
+			for _, c := range active {
+				if !frozen[c] {
+					frozen[c] = true
+					alloc[c] = mem.PerCoreGBs
+				}
+			}
+		}
+	}
+	return alloc
+}
+
+// StreamBandwidth returns the STREAM-copy bandwidth (GB/s) observed by
+// one core while the given set of cores (which must include it) access
+// memory concurrently. This is the measurement primitive of the Fig. 6
+// benchmark.
+func StreamBandwidth(m *topology.Machine, core int, active []int) float64 {
+	return FairShare(m, active)[core]
+}

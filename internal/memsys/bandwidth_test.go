@@ -1,0 +1,154 @@
+package memsys
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"servet/internal/topology"
+)
+
+func TestFairShareIsolatedCore(t *testing.T) {
+	m := topology.Dunnington()
+	bw := FairShare(m, []int{0})
+	if bw[0] != 4.0 {
+		t.Errorf("isolated core = %g GB/s, want 4.0", bw[0])
+	}
+}
+
+func TestFairShareDunningtonPair(t *testing.T) {
+	// Single 5.2 GB/s FSB: any pair splits it evenly -> 2.6 each,
+	// independent of which cores collide (Fig. 9(a), Dunnington).
+	m := topology.Dunnington()
+	for _, pair := range [][]int{{0, 1}, {0, 12}, {0, 23}, {7, 18}} {
+		bw := FairShare(m, pair)
+		for _, c := range pair {
+			if math.Abs(bw[c]-2.6) > 1e-9 {
+				t.Errorf("pair %v core %d = %g, want 2.6", pair, c, bw[c])
+			}
+		}
+	}
+}
+
+func TestFairShareFinisTerraeHierarchy(t *testing.T) {
+	// Finis Terrae (Fig. 9(a)): same bus worst, same cell ~25% penalty,
+	// cross-cell unconstrained.
+	m := topology.FinisTerrae(1)
+	sameBus := FairShare(m, []int{0, 1})[0]
+	sameCell := FairShare(m, []int{0, 4})[0]
+	crossCell := FairShare(m, []int{0, 8})[0]
+	if math.Abs(sameBus-2.1) > 1e-9 {
+		t.Errorf("same bus = %g, want 2.1", sameBus)
+	}
+	if math.Abs(sameCell-2.625) > 1e-9 {
+		t.Errorf("same cell = %g, want 2.625", sameCell)
+	}
+	if math.Abs(crossCell-3.5) > 1e-9 {
+		t.Errorf("cross cell = %g, want 3.5 (no overhead)", crossCell)
+	}
+	if !(sameBus < sameCell && sameCell < crossCell) {
+		t.Errorf("ordering violated: bus %g cell %g cross %g", sameBus, sameCell, crossCell)
+	}
+}
+
+func TestFairShareFinisTerraeScaling(t *testing.T) {
+	// Scaling within one bus: 4.2/n once the bus saturates.
+	m := topology.FinisTerrae(1)
+	got2 := FairShare(m, []int{0, 1})[0]
+	got4 := FairShare(m, []int{0, 1, 2, 3})[0]
+	if math.Abs(got2-2.1) > 1e-9 || math.Abs(got4-1.05) > 1e-9 {
+		t.Errorf("bus scaling = %g, %g; want 2.1, 1.05", got2, got4)
+	}
+}
+
+func TestFairShareMixedFreeze(t *testing.T) {
+	// Three cores of one cell, two of them on the same bus. The cell
+	// capacity (5.25) divided by 3 unfrozen cores binds before either
+	// bus does (4.2/2 = 2.1 > 1.75), so water-filling freezes all
+	// three at 5.25/3 = 1.75.
+	m := topology.FinisTerrae(1)
+	bw := FairShare(m, []int{0, 1, 4})
+	for _, c := range []int{0, 1, 4} {
+		if math.Abs(bw[c]-1.75) > 1e-9 {
+			t.Errorf("core %d = %g, want 1.75 (cell binds first)", c, bw[c])
+		}
+	}
+	// Two cores on different buses of different cells: unconstrained.
+	bw = FairShare(m, []int{0, 8})
+	if bw[0] != 3.5 || bw[8] != 3.5 {
+		t.Errorf("cross-cell pair = %g,%g want 3.5", bw[0], bw[8])
+	}
+}
+
+func TestFairShareCapacityRespectedProperty(t *testing.T) {
+	m := topology.FinisTerrae(1)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(16)
+		perm := rng.Perm(16)
+		active := perm[:n]
+		bw := FairShare(m, active)
+		// Per-core cap.
+		total := 0.0
+		for _, c := range active {
+			if bw[c] > m.Memory.PerCoreGBs+1e-9 || bw[c] <= 0 {
+				return false
+			}
+			total += bw[c]
+		}
+		// Domain capacities.
+		for _, d := range m.Memory.Domains {
+			for _, g := range d.Groups {
+				sum := 0.0
+				for _, c := range g {
+					sum += bw[c]
+				}
+				if sum > d.CapacityGBs+1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFairShareSymmetryProperty(t *testing.T) {
+	// Cores in symmetric positions (same bus) get identical shares.
+	m := topology.FinisTerrae(1)
+	bw := FairShare(m, []int{0, 1, 2, 3, 4, 5, 6, 7})
+	if bw[0] != bw[1] || bw[0] != bw[2] || bw[0] != bw[3] {
+		t.Errorf("same-bus cores differ: %v", bw)
+	}
+	if bw[4] != bw[5] || bw[4] != bw[6] || bw[4] != bw[7] {
+		t.Errorf("same-bus cores differ: %v", bw)
+	}
+}
+
+func TestFairShareEmptyActive(t *testing.T) {
+	m := topology.Dunnington()
+	if got := FairShare(m, nil); len(got) != 0 {
+		t.Errorf("FairShare(nil) = %v", got)
+	}
+}
+
+func TestStreamBandwidth(t *testing.T) {
+	m := topology.Dunnington()
+	ref := StreamBandwidth(m, 0, []int{0})
+	pair := StreamBandwidth(m, 0, []int{0, 5})
+	if ref != 4.0 || math.Abs(pair-2.6) > 1e-9 {
+		t.Errorf("StreamBandwidth = %g / %g, want 4.0 / 2.6", ref, pair)
+	}
+}
+
+func TestFairShareNoDomains(t *testing.T) {
+	m := topology.Dempsey()
+	m.Memory.Domains = nil
+	bw := FairShare(m, []int{0, 1})
+	if bw[0] != m.Memory.PerCoreGBs || bw[1] != m.Memory.PerCoreGBs {
+		t.Errorf("no domains: %v, want per-core cap", bw)
+	}
+}

@@ -1,0 +1,88 @@
+// Package memsys is a functional simulator of a node's memory system:
+// set-associative LRU caches with virtual or physical indexing,
+// per-process address spaces with an OS page allocator (random,
+// Linux-like placement or page coloring), a stride prefetcher, and a
+// max-min fair model of concurrent memory bandwidth.
+//
+// It reproduces the mechanisms the Servet benchmarks exploit: capacity
+// misses appearing exactly beyond the cache size for virtually-indexed
+// caches, binomially distributed page-set overflow for physically
+// indexed caches under random page placement, cache thrashing between
+// cores that share a cache, and bus/cell bandwidth collisions between
+// cores that share a memory path.
+package memsys
+
+import "servet/internal/topology"
+
+// cache is one instance of a set-associative LRU cache level.
+type cache struct {
+	spec     *topology.CacheLevel
+	sets     [][]int64 // per set: physical line addresses, MRU first
+	numSets  int64
+	lineBits uint
+}
+
+func newCache(spec *topology.CacheLevel) *cache {
+	numSets := spec.SizeBytes / (spec.LineBytes * int64(spec.Assoc))
+	lineBits := uint(0)
+	for l := spec.LineBytes; l > 1; l >>= 1 {
+		lineBits++
+	}
+	return &cache{
+		spec:     spec,
+		sets:     make([][]int64, numSets),
+		numSets:  numSets,
+		lineBits: lineBits,
+	}
+}
+
+// setIndex selects the set for an access, from the virtual or physical
+// line address according to the level's indexing mode.
+func (c *cache) setIndex(vLine, pLine int64) int64 {
+	if c.spec.Indexing == topology.VirtuallyIndexed {
+		return vLine % c.numSets
+	}
+	return pLine % c.numSets
+}
+
+// access looks a line up, returns whether it hit, and updates
+// LRU/contents: hits move to MRU, misses insert at MRU evicting the LRU
+// way if the set is full.
+func (c *cache) access(vLine, pLine int64) bool {
+	idx := c.setIndex(vLine, pLine)
+	set := c.sets[idx]
+	for i, tag := range set {
+		if tag == pLine {
+			// Move to front (MRU).
+			copy(set[1:i+1], set[:i])
+			set[0] = pLine
+			return true
+		}
+	}
+	// Miss: insert at MRU.
+	if len(set) < c.spec.Assoc {
+		set = append(set, 0)
+	}
+	copy(set[1:], set)
+	set[0] = pLine
+	c.sets[idx] = set
+	return false
+}
+
+// contains reports whether the line is cached, without touching LRU
+// state (used by tests).
+func (c *cache) contains(vLine, pLine int64) bool {
+	for _, tag := range c.sets[c.setIndex(vLine, pLine)] {
+		if tag == pLine {
+			return true
+		}
+	}
+	return false
+}
+
+// reset drops all cached lines.
+func (c *cache) reset() {
+	for i := range c.sets {
+		c.sets[i] = nil
+	}
+}

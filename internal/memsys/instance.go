@@ -1,0 +1,237 @@
+package memsys
+
+import (
+	"math/rand"
+
+	"servet/internal/topology"
+)
+
+// Instance is the live memory system of one node of a machine: the
+// cache instances of every level, the OS page allocator and one
+// prefetcher per core.
+type Instance struct {
+	m *topology.Machine
+	// caches[levelIdx][instanceIdx]
+	caches [][]*cache
+	// coreCache[levelIdx][core] = index of the instance serving core
+	coreCache [][]int
+	os        *osAllocator
+	pref      []*prefetcher
+	tlbs      []*tlb // nil entries when the machine models no TLB
+	spaceSeq  int64
+}
+
+// NewInstance builds the memory system of one node. The seed drives
+// the OS page placement (and nothing else), so runs are reproducible.
+func NewInstance(m *topology.Machine, seed int64) *Instance {
+	in := &Instance{m: m}
+	rng := rand.New(rand.NewSource(seed))
+	in.caches = make([][]*cache, len(m.Caches))
+	in.coreCache = make([][]int, len(m.Caches))
+	for li := range m.Caches {
+		spec := &m.Caches[li]
+		in.caches[li] = make([]*cache, spec.Instances())
+		for i := range in.caches[li] {
+			in.caches[li][i] = newCache(spec)
+		}
+		in.coreCache[li] = make([]int, m.CoresPerNode)
+		for core := 0; core < m.CoresPerNode; core++ {
+			in.coreCache[li][core] = spec.CacheInstance(core)
+		}
+	}
+	in.os = newOSAllocator(rng, m.PhysPagesPerNode, m.PageColoring, colorCount(m))
+	in.pref = make([]*prefetcher, m.CoresPerNode)
+	in.tlbs = make([]*tlb, m.CoresPerNode)
+	for i := range in.pref {
+		in.pref[i] = &prefetcher{maxStride: m.PrefetchMaxStrideBytes}
+		in.tlbs[i] = newTLB(m.TLBEntries)
+	}
+	return in
+}
+
+// colorCount derives the OS page-coloring modulus from the largest
+// physically indexed cache: size / (assoc * page).
+func colorCount(m *topology.Machine) int64 {
+	colors := int64(1)
+	for i := range m.Caches {
+		c := &m.Caches[i]
+		if c.Indexing != topology.PhysicallyIndexed {
+			continue
+		}
+		n := c.SizeBytes / (int64(c.Assoc) * m.PageBytes)
+		if n > colors {
+			colors = n
+		}
+	}
+	return colors
+}
+
+// Machine returns the machine description this instance simulates.
+func (in *Instance) Machine() *topology.Machine { return in.m }
+
+// NewSpace creates a fresh address space. Spaces start at staggered
+// virtual bases so allocations in different spaces never alias.
+func (in *Instance) NewSpace() *Space {
+	in.spaceSeq++
+	return &Space{
+		in:    in,
+		pages: make(map[int64]int64),
+		nextV: in.spaceSeq << 44,
+	}
+}
+
+// Access performs one load by the given core at vaddr in the space and
+// returns its cost in cycles: the sum of the latencies of every level
+// visited, plus the memory latency if all levels miss. Lines fill into
+// every level they traverse. The core's prefetcher observes the access
+// and may install the next line at no cost (stopping at page
+// boundaries, as hardware prefetchers do).
+func (in *Instance) Access(core int, sp *Space, vaddr int64) float64 {
+	paddr := sp.translate(vaddr)
+	cost := 0.0
+	if t := in.tlbs[core]; t != nil && !t.access(vaddr/in.m.PageBytes) {
+		cost += in.m.TLBMissCycles
+	}
+	hit := false
+	for li := range in.caches {
+		spec := &in.m.Caches[li]
+		cost += spec.LatencyCycles
+		c := in.caches[li][in.coreCache[li][core]]
+		if c.access(vaddr>>c.lineBits, paddr>>c.lineBits) {
+			hit = true
+			break
+		}
+	}
+	if !hit {
+		cost += in.m.Memory.LatencyCycles
+	}
+	if next, ok := in.pref[core].observe(vaddr, in.m.PageBytes); ok && sp.mapped(next) {
+		in.fill(core, sp, next)
+	}
+	return cost
+}
+
+// fill installs the line containing vaddr into every cache level of
+// the core, without cost accounting (prefetch path).
+func (in *Instance) fill(core int, sp *Space, vaddr int64) {
+	paddr := sp.translate(vaddr)
+	for li := range in.caches {
+		c := in.caches[li][in.coreCache[li][core]]
+		c.access(vaddr>>c.lineBits, paddr>>c.lineBits)
+	}
+}
+
+// Cached reports whether the line containing vaddr is present at the
+// given cache level (1-based) for the core. Test helper.
+func (in *Instance) Cached(level, core int, sp *Space, vaddr int64) bool {
+	li := level - 1
+	c := in.caches[li][in.coreCache[li][core]]
+	return c.contains(vaddr>>c.lineBits, sp.translate(vaddr)>>c.lineBits)
+}
+
+// ResetCaches empties every cache instance and prefetcher, leaving
+// page tables intact. Probes call it between measurements.
+func (in *Instance) ResetCaches() {
+	for _, level := range in.caches {
+		for _, c := range level {
+			c.reset()
+		}
+	}
+	for _, p := range in.pref {
+		p.reset()
+	}
+	for _, t := range in.tlbs {
+		if t != nil {
+			t.reset()
+		}
+	}
+}
+
+// Stream is one core's scripted access sequence for concurrent
+// execution: the addresses of a single traversal, replayed for a
+// number of passes.
+type Stream struct {
+	// Core is the node-local core executing the stream.
+	Core int
+	// Space is the address space of the stream's process.
+	Space *Space
+	// Addrs is one traversal's address sequence.
+	Addrs []int64
+}
+
+// StreamStats accumulates the measured portion of a stream.
+type StreamStats struct {
+	// Accesses counts measured accesses (warm-up pass excluded).
+	Accesses int64
+	// Cycles is the total measured cost.
+	Cycles float64
+}
+
+// AvgCycles returns the mean cycles per access of the measured passes.
+func (s StreamStats) AvgCycles() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return s.Cycles / float64(s.Accesses)
+}
+
+// RunConcurrent interleaves the streams in virtual-time order: at each
+// step the stream with the smallest local clock issues its next
+// access (ties break by core id). Each stream performs `passes`
+// traversals; the first pass of each stream is warm-up and excluded
+// from its statistics, mirroring the array-initialization warming of
+// the mcalibrator code in Fig. 1 of the paper. Concurrent streams
+// hitting a shared cache thrash each other exactly as the Fig. 5
+// benchmark expects.
+func RunConcurrent(in *Instance, streams []Stream, passes int) []StreamStats {
+	stats := make([]StreamStats, len(streams))
+	if passes < 2 {
+		passes = 2
+	}
+	type state struct {
+		clock float64
+		pos   int
+		pass  int
+		done  bool
+	}
+	st := make([]state, len(streams))
+	remaining := 0
+	for i := range streams {
+		if len(streams[i].Addrs) > 0 {
+			remaining++
+		} else {
+			st[i].done = true
+		}
+	}
+	for remaining > 0 {
+		// Pick the live stream with the smallest clock (tie: lowest
+		// index, which sorts by core id for the suite's callers).
+		sel := -1
+		for i := range st {
+			if st[i].done {
+				continue
+			}
+			if sel < 0 || st[i].clock < st[sel].clock {
+				sel = i
+			}
+		}
+		s := &st[sel]
+		str := &streams[sel]
+		cost := in.Access(str.Core, str.Space, str.Addrs[s.pos])
+		s.clock += cost
+		if s.pass > 0 {
+			stats[sel].Accesses++
+			stats[sel].Cycles += cost
+		}
+		s.pos++
+		if s.pos == len(str.Addrs) {
+			s.pos = 0
+			s.pass++
+			if s.pass == passes {
+				s.done = true
+				remaining--
+			}
+		}
+	}
+	return stats
+}

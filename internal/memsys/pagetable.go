@@ -1,0 +1,142 @@
+package memsys
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// osAllocator hands out physical page frames. Without coloring it
+// models Linux: any free frame, effectively random with respect to
+// cache page sets. With coloring it models OSs that keep the physical
+// page color (page set group) congruent with the virtual page's, which
+// makes physically indexed caches behave like virtually indexed ones —
+// the distinction at the heart of the paper's Fig. 4.
+type osAllocator struct {
+	rng       *rand.Rand
+	physPages int64
+	used      map[int64]bool
+	coloring  bool
+	colors    int64
+}
+
+func newOSAllocator(rng *rand.Rand, physPages int64, coloring bool, colors int64) *osAllocator {
+	if colors < 1 {
+		colors = 1
+	}
+	return &osAllocator{
+		rng:       rng,
+		physPages: physPages,
+		used:      make(map[int64]bool),
+		coloring:  coloring,
+		colors:    colors,
+	}
+}
+
+// allocPage returns a free physical page for the given virtual page,
+// honoring the coloring policy. It panics when physical memory is
+// exhausted: the simulated machines are provisioned far beyond what the
+// probes allocate, so exhaustion is a bug in the caller.
+func (o *osAllocator) allocPage(vpage int64) int64 {
+	if int64(len(o.used)) >= o.physPages {
+		panic("memsys: out of physical pages")
+	}
+	if o.coloring {
+		color := vpage % o.colors
+		perColor := o.physPages / o.colors
+		if perColor == 0 {
+			panic(fmt.Sprintf("memsys: %d physical pages cannot host %d colors", o.physPages, o.colors))
+		}
+		for attempt := 0; attempt < 1_000_000; attempt++ {
+			p := color + o.colors*o.rng.Int63n(perColor)
+			if !o.used[p] {
+				o.used[p] = true
+				return p
+			}
+		}
+		panic("memsys: colored page pool exhausted")
+	}
+	for {
+		p := o.rng.Int63n(o.physPages)
+		if !o.used[p] {
+			o.used[p] = true
+			return p
+		}
+	}
+}
+
+// freePage returns a frame to the pool.
+func (o *osAllocator) freePage(p int64) { delete(o.used, p) }
+
+// Space is a process address space: a private virtual address range
+// with its own page table. Each probe process (thread) of the suite
+// runs in its own space.
+type Space struct {
+	in    *Instance
+	pages map[int64]int64 // vpage -> ppage
+	nextV int64
+}
+
+// Array is a page-aligned allocation inside a Space.
+type Array struct {
+	sp *Space
+	// Base is the first virtual address of the allocation.
+	Base int64
+	// Bytes is the requested length.
+	Bytes int64
+}
+
+// Alloc reserves bytes of virtual memory, maps every page to a
+// physical frame and returns the array. The mapping is the moment the
+// OS placement policy acts, exactly as in the real benchmarks where
+// initializing the array faults the pages in.
+func (sp *Space) Alloc(bytes int64) *Array {
+	if bytes <= 0 {
+		panic("memsys: non-positive allocation")
+	}
+	ps := sp.in.m.PageBytes
+	base := sp.nextV
+	npages := (bytes + ps - 1) / ps
+	for i := int64(0); i < npages; i++ {
+		vpage := base/ps + i
+		sp.pages[vpage] = sp.in.os.allocPage(vpage)
+	}
+	// Leave a guard page between allocations.
+	sp.nextV = base + (npages+1)*ps
+	return &Array{sp: sp, Base: base, Bytes: bytes}
+}
+
+// Free unmaps the array and returns its frames to the OS.
+func (sp *Space) Free(a *Array) {
+	if a.sp != sp {
+		panic("memsys: freeing array from another space")
+	}
+	ps := sp.in.m.PageBytes
+	npages := (a.Bytes + ps - 1) / ps
+	for i := int64(0); i < npages; i++ {
+		vpage := a.Base/ps + i
+		p, ok := sp.pages[vpage]
+		if !ok {
+			panic("memsys: double free")
+		}
+		sp.in.os.freePage(p)
+		delete(sp.pages, vpage)
+	}
+}
+
+// translate maps a virtual address to a physical one. Unmapped accesses
+// panic: the probes only touch what they allocate.
+func (sp *Space) translate(vaddr int64) int64 {
+	ps := sp.in.m.PageBytes
+	ppage, ok := sp.pages[vaddr/ps]
+	if !ok {
+		panic(fmt.Sprintf("memsys: access to unmapped address %#x", vaddr))
+	}
+	return ppage*ps + vaddr%ps
+}
+
+// mapped reports whether the virtual address is mapped (the prefetcher
+// must not fault).
+func (sp *Space) mapped(vaddr int64) bool {
+	_, ok := sp.pages[vaddr/sp.in.m.PageBytes]
+	return ok
+}

@@ -1,0 +1,40 @@
+package memsys
+
+// tlb models a per-core fully-associative translation lookaside buffer
+// with LRU replacement. It is optional (machines with TLBEntries == 0
+// skip it entirely): the paper's Servet does not probe the TLB, but
+// its mcalibrator methodology descends from Saavedra & Smith's cache
+// and TLB measurements, and the DetectTLB probe in internal/core
+// reproduces that lineage as a documented extension.
+type tlb struct {
+	entries int
+	// vpages holds the cached translations, MRU first.
+	vpages []int64
+}
+
+func newTLB(entries int) *tlb {
+	if entries <= 0 {
+		return nil
+	}
+	return &tlb{entries: entries}
+}
+
+// access looks a virtual page up, updating recency; it reports whether
+// the translation was cached and inserts it if not.
+func (t *tlb) access(vpage int64) bool {
+	for i, p := range t.vpages {
+		if p == vpage {
+			copy(t.vpages[1:i+1], t.vpages[:i])
+			t.vpages[0] = vpage
+			return true
+		}
+	}
+	if len(t.vpages) < t.entries {
+		t.vpages = append(t.vpages, 0)
+	}
+	copy(t.vpages[1:], t.vpages)
+	t.vpages[0] = vpage
+	return false
+}
+
+func (t *tlb) reset() { t.vpages = t.vpages[:0] }

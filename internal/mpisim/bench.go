@@ -1,0 +1,74 @@
+package mpisim
+
+import (
+	"fmt"
+
+	"servet/internal/topology"
+)
+
+// PingPongOneWayNS measures the average one-way message latency
+// between two global cores: one warm-up round trip followed by reps
+// measured round trips, returning total/(2*reps). This is the
+// micro-benchmark behind Fig. 7 and Fig. 10(a)/(c)/(d) of the paper.
+func PingPongOneWayNS(m *topology.Machine, coreA, coreB int, bytes int64, reps int) (float64, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	var total int64
+	_, err := Run(m, 2, []int{coreA, coreB}, func(r *Rank) {
+		const tag = 0
+		if r.ID() == 0 {
+			r.Send(1, tag, bytes)
+			r.Recv(1, tag)
+			start := r.Now()
+			for i := 0; i < reps; i++ {
+				r.Send(1, tag, bytes)
+				r.Recv(1, tag)
+			}
+			total = r.Now() - start
+		} else {
+			for i := 0; i <= reps; i++ {
+				r.Recv(0, tag)
+				r.Send(0, tag, bytes)
+			}
+		}
+	})
+	if err != nil {
+		return 0, err
+	}
+	return float64(total) / float64(2*reps), nil
+}
+
+// ConcurrentMeanCompletionNS starts one message per pair (first core
+// sends to second) at virtual time zero and returns the mean delivery
+// completion time across all messages. Comparing the result for N
+// pairs against a single pair quantifies the scalability of the layer
+// the pairs belong to (Fig. 10(b)).
+func ConcurrentMeanCompletionNS(m *topology.Machine, pairs [][2]int, bytes int64) (float64, error) {
+	if len(pairs) == 0 {
+		return 0, fmt.Errorf("mpisim: no pairs to measure")
+	}
+	placement := make([]int, 0, 2*len(pairs))
+	for _, p := range pairs {
+		placement = append(placement, p[0], p[1])
+	}
+	completions := make([]int64, len(pairs))
+	_, err := Run(m, len(placement), placement, func(r *Rank) {
+		const tag = 0
+		pair := r.ID() / 2
+		if r.ID()%2 == 0 {
+			r.Send(r.ID()+1, tag, bytes)
+		} else {
+			r.Recv(r.ID()-1, tag)
+			completions[pair] = r.Now()
+		}
+	})
+	if err != nil {
+		return 0, err
+	}
+	sum := 0.0
+	for _, c := range completions {
+		sum += float64(c)
+	}
+	return sum / float64(len(completions)), nil
+}

@@ -1,0 +1,162 @@
+package mpisim
+
+import (
+	"testing"
+
+	"servet/internal/topology"
+)
+
+func TestPingPongLatencyOrderingDunnington(t *testing.T) {
+	// Fig. 10(a): same-L2 pair fastest, then same-L3, then
+	// inter-processor.
+	m := topology.Dunnington()
+	msg := int64(32 * topology.KB) // L1-sized message
+	sameL2, err := PingPongOneWayNS(m, 0, 12, msg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameL3, err := PingPongOneWayNS(m, 0, 1, msg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cross, err := PingPongOneWayNS(m, 0, 3, msg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(sameL2 < sameL3 && sameL3 < cross) {
+		t.Errorf("latency ordering violated: L2=%g L3=%g cross=%g", sameL2, sameL3, cross)
+	}
+	if ratio := cross / sameL2; ratio < 1.5 {
+		t.Errorf("cross/sameL2 = %.2f, want a clear gap", ratio)
+	}
+}
+
+func TestPingPongIntraVsInterNodeFinisTerrae(t *testing.T) {
+	// Fig. 10(a): intra-node around two times faster than inter-node.
+	m := topology.FinisTerrae(2)
+	msg := int64(16 * topology.KB) // L1-sized message
+	intra, err := PingPongOneWayNS(m, 0, 5, msg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inter, err := PingPongOneWayNS(m, 0, 21, msg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := inter / intra
+	if ratio < 1.5 || ratio > 3.0 {
+		t.Errorf("inter/intra = %.2f, want ~2 (intra %.0f ns, inter %.0f ns)", ratio, intra, inter)
+	}
+}
+
+func TestPingPongDeterministic(t *testing.T) {
+	m := topology.FinisTerrae(2)
+	a, err := PingPongOneWayNS(m, 0, 16, 4096, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PingPongOneWayNS(m, 0, 16, 4096, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("nondeterministic ping-pong: %g vs %g", a, b)
+	}
+}
+
+func TestPingPongRepsDefault(t *testing.T) {
+	m := topology.Dunnington()
+	if _, err := PingPongOneWayNS(m, 0, 1, 1024, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentMessagesSerializeOnNIC(t *testing.T) {
+	// Fig. 10(b): 16 concurrent inter-node messages are several times
+	// slower than an isolated one.
+	m := topology.FinisTerrae(2)
+	msg := int64(16 * topology.KB)
+	single, err := ConcurrentMeanCompletionNS(m, [][2]int{{0, 16}}, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pairs [][2]int
+	for i := 0; i < 16; i++ {
+		pairs = append(pairs, [2]int{i, 16 + i})
+	}
+	many, err := ConcurrentMeanCompletionNS(m, pairs, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := many / single
+	if ratio < 3 || ratio > 16 {
+		t.Errorf("16-message slowdown = %.1fx, want moderate scalability (3..16)", ratio)
+	}
+}
+
+func TestConcurrentScalableChannelStaysFlat(t *testing.T) {
+	// Dunnington same-L2 pairs use disjoint caches: concurrent
+	// messages on different pairs must not slow each other down.
+	m := topology.Dunnington()
+	msg := int64(32 * topology.KB)
+	single, err := ConcurrentMeanCompletionNS(m, [][2]int{{0, 12}}, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := [][2]int{{0, 12}, {1, 13}, {2, 14}, {3, 15}}
+	many, err := ConcurrentMeanCompletionNS(m, pairs, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := many / single; ratio > 1.05 {
+		t.Errorf("same-L2 layer slowed down %.2fx; should be fully scalable", ratio)
+	}
+}
+
+func TestConcurrentNoPairs(t *testing.T) {
+	m := topology.Dunnington()
+	if _, err := ConcurrentMeanCompletionNS(m, nil, 1024); err == nil {
+		t.Error("no pairs should be an error")
+	}
+}
+
+func TestBandwidthCurveShape(t *testing.T) {
+	// Fig. 10(c)/(d): effective bandwidth grows with message size and
+	// approaches the channel bandwidth; the shared-cache channel beats
+	// the inter-processor channel at every size.
+	m := topology.Dunnington()
+	sizes := []int64{1 * topology.KB, 16 * topology.KB, 256 * topology.KB, 4 * topology.MB}
+	var prevL2 float64
+	for _, s := range sizes {
+		l2ns, err := PingPongOneWayNS(m, 0, 12, s, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		crossns, err := PingPongOneWayNS(m, 0, 3, s, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bwL2 := float64(s) / l2ns
+		bwCross := float64(s) / crossns
+		if bwCross >= bwL2 {
+			t.Errorf("size %d: cross bw %.2f >= same-L2 bw %.2f", s, bwCross, bwL2)
+		}
+		if bwL2 < prevL2*0.55 {
+			t.Errorf("size %d: same-L2 bandwidth collapsed: %.2f after %.2f", s, bwL2, prevL2)
+		}
+		prevL2 = bwL2
+	}
+	// Large messages approach (but never exceed) the channel's large
+	// message bandwidth.
+	bigNS, err := PingPongOneWayNS(m, 0, 12, 4*topology.MB, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw := float64(4*topology.MB) / bigNS
+	if bw > 1.8 {
+		t.Errorf("4MB same-L2 bandwidth %.2f GB/s exceeds the large-message channel rate", bw)
+	}
+	if bw < 1.0 {
+		t.Errorf("4MB same-L2 bandwidth %.2f GB/s too low", bw)
+	}
+}

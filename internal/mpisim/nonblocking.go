@@ -1,0 +1,141 @@
+package mpisim
+
+import "servet/internal/sim"
+
+// Request is a handle for a nonblocking operation; Wait blocks until
+// it completes.
+//
+// Nonblocking operations progress in the background (a helper
+// simulation process runs the transport protocol), modelling an MPI
+// library with an asynchronous progress thread: a rendezvous Isend
+// completes once the matching receive is posted even if the sender
+// never re-enters the library, and head-to-head exchanges of
+// rendezvous-sized messages do not deadlock.
+type Request struct {
+	done    *sim.Signal
+	owner   *Rank
+	recvMsg *Msg
+	waited  bool
+}
+
+// Wait blocks until the operation completes. For an Irecv it returns
+// the received message; for an Isend the zero Msg. Waiting twice is a
+// no-op.
+func (req *Request) Wait() Msg {
+	req.done.Wait(req.owner.p)
+	req.waited = true
+	if req.recvMsg != nil {
+		return *req.recvMsg
+	}
+	return Msg{}
+}
+
+// Done reports whether the operation has completed (regardless of
+// whether Wait was called).
+func (req *Request) Done() bool { return req.done.Fired() }
+
+// helper builds a background rank alias running the protocol on its
+// own simulation process.
+func (r *Rank) helper(name string, body func(h *Rank)) *sim.Signal {
+	done := &sim.Signal{}
+	h := &Rank{w: r.w, id: r.id, core: r.core}
+	r.w.k.Go(name, func(p *sim.Proc) {
+		h.p = p
+		body(h)
+		done.Fire()
+	})
+	return done
+}
+
+// Isend starts a nonblocking send: the caller pays the software
+// overhead and continues; the payload injection and any rendezvous
+// handshake proceed in the background.
+func (r *Rank) Isend(dst, tag int, bytes int64) *Request {
+	if tag < 0 {
+		panic("mpisim: negative tags are reserved")
+	}
+	r.p.Sleep(r.swOverheadNS())
+	done := r.helper("isend", func(h *Rank) {
+		h.sendPayload(dst, tag, bytes)
+	})
+	return &Request{done: done, owner: r}
+}
+
+// Irecv posts a nonblocking receive: matching (and the rendezvous
+// answer) proceeds in the background as soon as a matching message or
+// RTS arrives.
+func (r *Rank) Irecv(src, tag int) *Request {
+	if tag < 0 {
+		panic("mpisim: negative tags are reserved")
+	}
+	r.p.Sleep(r.swOverheadNS())
+	msg := &Msg{}
+	done := r.helper("irecv", func(h *Rank) {
+		*msg = h.recvPayload(src, tag)
+	})
+	return &Request{done: done, owner: r, recvMsg: msg}
+}
+
+// Sendrecv exchanges messages with two (possibly different) peers
+// without deadlocking, like MPI_Sendrecv: the send and the receive
+// progress together.
+func (r *Rank) Sendrecv(dst, sendTag int, bytes int64, src, recvTag int) Msg {
+	sreq := r.Isend(dst, sendTag, bytes)
+	rreq := r.Irecv(src, recvTag)
+	sreq.Wait()
+	return rreq.Wait()
+}
+
+// Scatter distributes bytes from root to every other rank (flat
+// fan-out, as MPI implementations do for small communicators).
+func (r *Rank) Scatter(root int, bytes int64) {
+	n := len(r.w.ranks)
+	if n == 1 {
+		return
+	}
+	if r.id == root {
+		for dst := 0; dst < n; dst++ {
+			if dst != root {
+				r.sendInternal(dst, tagScatter, bytes)
+			}
+		}
+		return
+	}
+	r.recvInternal(root, tagScatter)
+}
+
+// Alltoall exchanges bytes between every pair of ranks using the
+// rotation schedule (round k: rank i sends to (i+k) mod n and receives
+// from (i-k) mod n), the standard contention-avoiding pattern.
+func (r *Rank) Alltoall(bytes int64) {
+	n := len(r.w.ranks)
+	if n == 1 {
+		return
+	}
+	for k := 1; k < n; k++ {
+		dst := (r.id + k) % n
+		src := (r.id - k + n) % n
+		req := r.Irecv(src, 0)
+		r.Send(dst, 0, bytes)
+		req.Wait()
+	}
+}
+
+// BcastFlat is the naive broadcast (root sends to every rank
+// directly); it exists as the baseline for report-driven collective
+// selection (autotune.CollectiveAdvice).
+func (r *Rank) BcastFlat(root int, bytes int64) {
+	n := len(r.w.ranks)
+	if n == 1 {
+		return
+	}
+	if r.id == root {
+		for dst := 0; dst < n; dst++ {
+			if dst != root {
+				r.sendInternal(dst, tagBcast, bytes)
+			}
+		}
+		return
+	}
+	r.recvInternal(root, tagBcast)
+}

@@ -1,0 +1,200 @@
+package mpisim
+
+import (
+	"testing"
+
+	"servet/internal/topology"
+)
+
+func TestIsendIrecvBasic(t *testing.T) {
+	m := topology.Dunnington()
+	var got Msg
+	_, err := Run(m, 2, nil, func(r *Rank) {
+		if r.ID() == 0 {
+			req := r.Isend(1, 4, 2048)
+			req.Wait()
+		} else {
+			req := r.Irecv(0, 4)
+			got = req.Wait()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Source != 0 || got.Bytes != 2048 {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestRequestWaitIdempotent(t *testing.T) {
+	m := topology.Dunnington()
+	_, err := Run(m, 2, nil, func(r *Rank) {
+		if r.ID() == 0 {
+			req := r.Isend(1, 4, 1024)
+			req.Wait()
+			if !req.Done() {
+				t.Error("request not done after Wait")
+			}
+			req.Wait() // second wait is a no-op
+		} else {
+			r.Recv(0, 4)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIrecvBeforeSendArrives(t *testing.T) {
+	m := topology.Dunnington()
+	var arrived int64
+	_, err := Run(m, 2, nil, func(r *Rank) {
+		if r.ID() == 0 {
+			r.Compute(24000) // 10 us of local work before sending
+			r.Send(1, 9, 4096)
+		} else {
+			req := r.Irecv(0, 9)
+			msg := req.Wait()
+			arrived = msg.ArrivedNS
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arrived < 10_000 {
+		t.Errorf("message arrived at %d ns, before the sender's compute", arrived)
+	}
+}
+
+func TestExchangeWithIsendIrecvNoDeadlock(t *testing.T) {
+	// Classic head-to-head exchange that would deadlock with blocking
+	// rendezvous sends.
+	m := topology.Dunnington()
+	big := int64(256 * topology.KB) // rendezvous-sized
+	_, err := Run(m, 2, nil, func(r *Rank) {
+		peer := 1 - r.ID()
+		rreq := r.Irecv(peer, 1)
+		sreq := r.Isend(peer, 1, big)
+		sreq.Wait()
+		rreq.Wait()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendrecvEagerAndRendezvous(t *testing.T) {
+	m := topology.Dunnington()
+	for _, bytes := range []int64{4 * topology.KB, 256 * topology.KB} {
+		_, err := Run(m, 2, nil, func(r *Rank) {
+			peer := 1 - r.ID()
+			msg := r.Sendrecv(peer, 3, bytes, peer, 3)
+			if msg.Bytes != bytes {
+				t.Errorf("size %d: got %+v", bytes, msg)
+			}
+		})
+		if err != nil {
+			t.Fatalf("size %d: %v", bytes, err)
+		}
+	}
+}
+
+func TestSendrecvRingRendezvous(t *testing.T) {
+	// A full ring of rendezvous-sized Sendrecv: the classic deadlock
+	// trap that MPI_Sendrecv must survive.
+	m := topology.Dunnington()
+	const n = 6
+	big := int64(128 * topology.KB)
+	_, err := Run(m, n, nil, func(r *Rank) {
+		right := (r.ID() + 1) % n
+		left := (r.ID() + n - 1) % n
+		for i := 0; i < 3; i++ {
+			r.Sendrecv(right, 1, big, left, 1)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScatter(t *testing.T) {
+	m := topology.Dunnington()
+	counts := make([]int, 6)
+	_, err := Run(m, 6, nil, func(r *Rank) {
+		r.Scatter(2, 4096)
+		counts[r.ID()]++
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range counts {
+		if c != 1 {
+			t.Errorf("rank %d finished %d times", i, c)
+		}
+	}
+	// Single rank: no-op.
+	if _, err := Run(m, 1, nil, func(r *Rank) { r.Scatter(0, 64) }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlltoall(t *testing.T) {
+	m := topology.Dunnington()
+	elapsed, err := Run(m, 4, nil, func(r *Rank) {
+		r.Alltoall(8 * topology.KB)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed <= 0 {
+		t.Error("alltoall consumed no virtual time")
+	}
+	if _, err := Run(m, 1, nil, func(r *Rank) { r.Alltoall(64) }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBcastFlatSlowerThanTreeOnLargeComm(t *testing.T) {
+	// The binomial tree pipelines across processors; the flat fan-out
+	// serializes at the root. On 16 ranks the tree must win.
+	m := topology.Dunnington()
+	run := func(flat bool) int64 {
+		elapsed, err := Run(m, 16, nil, func(r *Rank) {
+			if flat {
+				r.BcastFlat(0, 32*topology.KB)
+			} else {
+				r.Bcast(0, 32*topology.KB)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return elapsed
+	}
+	tree, flat := run(false), run(true)
+	if tree >= flat {
+		t.Errorf("binomial bcast (%d ns) not faster than flat (%d ns) on 16 ranks", tree, flat)
+	}
+}
+
+func TestNegativeTagPanicsNonblocking(t *testing.T) {
+	m := topology.Dunnington()
+	for name, body := range map[string]func(r *Rank){
+		"isend":    func(r *Rank) { r.Isend(1, -1, 8) },
+		"irecv":    func(r *Rank) { r.Irecv(1, -1) },
+		"sendrecv": func(r *Rank) { r.Sendrecv(1, -1, 8, 1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: negative tag did not panic", name)
+				}
+			}()
+			_, _ = Run(m, 2, nil, func(r *Rank) {
+				if r.ID() == 0 {
+					body(r)
+				}
+			})
+		}()
+	}
+}

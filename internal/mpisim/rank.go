@@ -1,0 +1,251 @@
+package mpisim
+
+import (
+	"fmt"
+
+	"servet/internal/sim"
+)
+
+// Msg is a received message.
+type Msg struct {
+	// Source is the sending rank.
+	Source int
+	// Tag is the application tag the message was sent with.
+	Tag int
+	// Bytes is the payload size.
+	Bytes int64
+	// ArrivedNS is the virtual time the payload reached this rank.
+	ArrivedNS int64
+}
+
+// ID returns the rank number.
+func (r *Rank) ID() int { return r.id }
+
+// Size returns the number of ranks in the world.
+func (r *Rank) Size() int { return len(r.w.ranks) }
+
+// Core returns the global core the rank is placed on.
+func (r *Rank) Core() int { return r.core }
+
+// Now returns the rank's current virtual time in nanoseconds.
+func (r *Rank) Now() int64 { return r.p.Now() }
+
+// Compute advances the rank's clock by the given number of CPU cycles
+// at the machine's clock rate, modelling local computation.
+func (r *Rank) Compute(cycles float64) {
+	r.p.Sleep(sim.NS(r.w.m.CyclesToNS(cycles)))
+}
+
+func (r *Rank) swOverheadNS() int64 {
+	return sim.NS(r.w.m.Comm.SoftwareOverheadUS * 1000)
+}
+
+// Send transmits bytes to the destination rank under the given tag
+// (which must be non-negative; negative tags are reserved for the
+// collectives). Messages up to the channel's eager threshold are sent
+// eagerly: the call returns once the payload is injected. Larger
+// messages use the rendezvous protocol: the call blocks until the
+// receiver posts the matching Recv and the payload transfer completes
+// its injection.
+func (r *Rank) Send(dst, tag int, bytes int64) {
+	if tag < 0 {
+		panic("mpisim: negative tags are reserved")
+	}
+	r.send(dst, tag, bytes)
+}
+
+func (r *Rank) send(dst, tag int, bytes int64) {
+	r.p.Sleep(r.swOverheadNS())
+	r.sendPayload(dst, tag, bytes)
+}
+
+// sendPayload runs the transport protocol without the software
+// overhead (already paid by the caller).
+func (r *Rank) sendPayload(dst, tag int, bytes int64) {
+	if dst < 0 || dst >= len(r.w.ranks) {
+		panic(fmt.Sprintf("mpisim: send to rank %d of %d", dst, len(r.w.ranks)))
+	}
+	ch := r.w.channelFor(r.core, r.w.ranks[dst].core)
+	if bytes <= ch.eager {
+		r.transfer(ch, dst, tag, bytes, kindEager)
+		return
+	}
+	r.control(ch, dst, tag, kindRTS)
+	r.waitMsg(dst, tag, kindCTS)
+	r.transfer(ch, dst, tag, bytes, kindData)
+}
+
+// Recv blocks until a message with the given tag arrives from src
+// (AnySource matches any sender) and returns it. For rendezvous
+// messages it answers the sender's RTS and waits for the payload.
+func (r *Rank) Recv(src, tag int) Msg {
+	if tag < 0 {
+		panic("mpisim: negative tags are reserved")
+	}
+	return r.recv(src, tag)
+}
+
+func (r *Rank) recv(src, tag int) Msg {
+	r.p.Sleep(r.swOverheadNS())
+	return r.recvPayload(src, tag)
+}
+
+// recvPayload matches a message without the software overhead (already
+// paid by the caller).
+func (r *Rank) recvPayload(src, tag int) Msg {
+	m := r.w.boxes[r.id].Recv(r.p, func(m sim.Message) bool {
+		if m.Tag != tag || (m.Kind != kindEager && m.Kind != kindRTS) {
+			return false
+		}
+		return src == AnySource || m.From == src
+	})
+	if m.Kind == kindEager {
+		return Msg{Source: m.From, Tag: m.Tag, Bytes: m.Bytes, ArrivedNS: m.Arrived}
+	}
+	// Rendezvous: grant the transfer and wait for the payload.
+	back := r.w.channelFor(r.core, r.w.ranks[m.From].core)
+	r.control(back, m.From, tag, kindCTS)
+	data := r.waitMsg(m.From, tag, kindData)
+	return Msg{Source: data.From, Tag: data.Tag, Bytes: data.Bytes, ArrivedNS: data.Arrived}
+}
+
+// transfer injects a payload into the channel (blocking the sender for
+// the serialization time, queueing on the channel's shared resource if
+// any) and delivers it to the destination mailbox one latency later.
+func (r *Rank) transfer(ch channel, dst, tag int, bytes int64, kind int) {
+	deliver := r.deliverFn(dst, tag, bytes, kind)
+	if ch.network {
+		srcNode, _ := r.w.m.SplitCore(r.core)
+		r.w.fabric.Transfer(r.p, srcNode, bytes, deliver)
+		return
+	}
+	dur := ch.serializationNS(bytes)
+	if ch.res != nil {
+		ch.res.Use(r.p, dur)
+	} else {
+		r.p.Sleep(dur)
+	}
+	r.w.k.After(ch.latencyNS, deliver)
+}
+
+// control sends a zero-payload protocol message (RTS/CTS): latency
+// only, no serialization or queueing.
+func (r *Rank) control(ch channel, dst, tag, kind int) {
+	deliver := r.deliverFn(dst, tag, 0, kind)
+	if ch.network {
+		r.w.fabric.Control(deliver)
+		return
+	}
+	r.w.k.After(ch.latencyNS, deliver)
+}
+
+func (r *Rank) deliverFn(dst, tag int, bytes int64, kind int) func() {
+	w := r.w
+	from := r.id
+	return func() {
+		w.boxes[dst].Deliver(sim.Message{
+			From: from, Tag: tag, Kind: kind, Bytes: bytes, Arrived: w.k.Now(),
+		})
+	}
+}
+
+// waitMsg blocks until a protocol message of the exact kind arrives
+// from src with the tag.
+func (r *Rank) waitMsg(src, tag, kind int) sim.Message {
+	return r.w.boxes[r.id].Recv(r.p, func(m sim.Message) bool {
+		return m.From == src && m.Tag == tag && m.Kind == kind
+	})
+}
+
+// Barrier blocks until every rank has entered it (central counter at
+// rank 0, implemented with small control-sized messages).
+func (r *Rank) Barrier() {
+	const probe = 8 // bytes of a control message
+	n := len(r.w.ranks)
+	if n == 1 {
+		return
+	}
+	if r.id == 0 {
+		for i := 1; i < n; i++ {
+			r.recvInternal(AnySource, tagBarrier)
+		}
+		for i := 1; i < n; i++ {
+			r.sendInternal(i, tagBarrier, probe)
+		}
+		return
+	}
+	r.sendInternal(0, tagBarrier, probe)
+	r.recvInternal(0, tagBarrier)
+}
+
+// Bcast distributes bytes from root to every rank along a binomial
+// tree and returns when this rank holds the data (senders return after
+// their last injection).
+func (r *Rank) Bcast(root int, bytes int64) {
+	n := len(r.w.ranks)
+	if n == 1 {
+		return
+	}
+	vrank := (r.id - root + n) % n
+	mask := 1
+	for mask < n {
+		if vrank&mask != 0 {
+			src := (vrank - mask + root) % n
+			r.recvInternal(src, tagBcast)
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if vrank&mask == 0 && vrank+mask < n {
+			dst := (vrank + mask + root) % n
+			r.sendInternal(dst, tagBcast, bytes)
+		}
+		mask >>= 1
+	}
+}
+
+// Gather collects bytes from every rank at root (flat fan-in).
+func (r *Rank) Gather(root int, bytes int64) {
+	n := len(r.w.ranks)
+	if n == 1 {
+		return
+	}
+	if r.id == root {
+		for i := 0; i < n-1; i++ {
+			r.recvInternal(AnySource, tagGather)
+		}
+		return
+	}
+	r.sendInternal(root, tagGather, bytes)
+}
+
+// Allreduce models a reduction of bytes to rank 0 followed by a
+// broadcast of the result.
+func (r *Rank) Allreduce(bytes int64) {
+	n := len(r.w.ranks)
+	if n == 1 {
+		return
+	}
+	// Binomial-tree reduce to 0.
+	vrank := r.id
+	mask := 1
+	for mask < n {
+		if vrank&mask != 0 {
+			r.sendInternal(vrank-mask, tagReduce, bytes)
+			break
+		}
+		partner := vrank + mask
+		if partner < n {
+			r.recvInternal(partner, tagReduce)
+		}
+		mask <<= 1
+	}
+	r.Bcast(0, bytes)
+}
+
+// sendInternal and recvInternal bypass the non-negative-tag guard for
+// the collectives' reserved tags.
+func (r *Rank) sendInternal(dst, tag int, bytes int64) { r.send(dst, tag, bytes) }
+func (r *Rank) recvInternal(src, tag int) Msg          { return r.recv(src, tag) }

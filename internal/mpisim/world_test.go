@@ -1,0 +1,282 @@
+package mpisim
+
+import (
+	"strings"
+	"testing"
+
+	"servet/internal/topology"
+)
+
+func TestRunValidatesPlacement(t *testing.T) {
+	m := topology.Dunnington()
+	if _, err := Run(m, 2, []int{0}, func(*Rank) {}); err == nil ||
+		!strings.Contains(err.Error(), "placement") {
+		t.Errorf("short placement: err = %v", err)
+	}
+	if _, err := Run(m, 2, []int{0, 99}, func(*Rank) {}); err == nil ||
+		!strings.Contains(err.Error(), "core 99") {
+		t.Errorf("out-of-range core: err = %v", err)
+	}
+	if _, err := Run(m, 2, []int{5, 5}, func(*Rank) {}); err == nil ||
+		!strings.Contains(err.Error(), "more than one rank") {
+		t.Errorf("duplicate core: err = %v", err)
+	}
+}
+
+func TestIdentityPlacement(t *testing.T) {
+	p := IdentityPlacement(3)
+	if len(p) != 3 || p[0] != 0 || p[2] != 2 {
+		t.Errorf("IdentityPlacement = %v", p)
+	}
+}
+
+func TestChannelClassificationDunnington(t *testing.T) {
+	m := topology.Dunnington()
+	cases := []struct {
+		a, b int
+		want string
+	}{
+		{0, 12, "same-L2"},
+		{0, 1, "same-L3"},
+		{0, 14, "same-L3"},
+		{0, 3, "inter-processor"},
+		{0, 23, "inter-processor"},
+		{5, 5, "self"},
+	}
+	for _, c := range cases {
+		if got := ChannelNameBetween(m, c.a, c.b); got != c.want {
+			t.Errorf("channel(%d,%d) = %q, want %q", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestChannelClassificationFinisTerrae(t *testing.T) {
+	m := topology.FinisTerrae(2)
+	if got := ChannelNameBetween(m, 0, 15); got != "intra-node" {
+		t.Errorf("intra-node pair = %q", got)
+	}
+	if got := ChannelNameBetween(m, 0, 16); got != "network" {
+		t.Errorf("cross-node pair = %q", got)
+	}
+	if got := ChannelNameBetween(m, 17, 31); got != "intra-node" {
+		t.Errorf("second-node pair = %q", got)
+	}
+}
+
+func TestChannelFallbackWithoutConfig(t *testing.T) {
+	m := topology.Dempsey()
+	m.Comm.Channels = nil
+	if got := ChannelNameBetween(m, 0, 1); got != "node-default" {
+		t.Errorf("fallback channel = %q", got)
+	}
+}
+
+func TestSendRecvEager(t *testing.T) {
+	m := topology.Dunnington()
+	var got Msg
+	_, err := Run(m, 2, nil, func(r *Rank) {
+		if r.ID() == 0 {
+			r.Send(1, 7, 1024)
+		} else {
+			got = r.Recv(0, 7)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Source != 0 || got.Tag != 7 || got.Bytes != 1024 {
+		t.Errorf("received %+v", got)
+	}
+	if got.ArrivedNS <= 0 {
+		t.Error("message arrived at t=0; transfer cost missing")
+	}
+}
+
+func TestSendRecvRendezvous(t *testing.T) {
+	// 128 KB exceeds the 64 KB shared-memory eager threshold.
+	m := topology.Dunnington()
+	var got Msg
+	elapsed, err := Run(m, 2, nil, func(r *Rank) {
+		if r.ID() == 0 {
+			r.Send(1, 3, 128*topology.KB)
+		} else {
+			got = r.Recv(0, 3)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Bytes != 128*topology.KB {
+		t.Errorf("received %+v", got)
+	}
+	// The rendezvous handshake adds two extra latency legs compared to
+	// an eager transfer of the same size.
+	eager, err := eagerTimeNS(m, 128*topology.KB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(elapsed) <= eager {
+		t.Errorf("rendezvous (%d ns) not slower than eager equivalent (%g ns)", elapsed, eager)
+	}
+}
+
+// eagerTimeNS measures the same transfer with the threshold lifted.
+func eagerTimeNS(m *topology.Machine, bytes int64) (float64, error) {
+	m2 := *m
+	m2.Comm.EagerThresholdBytes = bytes + 1
+	elapsed, err := Run(&m2, 2, nil, func(r *Rank) {
+		if r.ID() == 0 {
+			r.Send(1, 3, bytes)
+		} else {
+			r.Recv(0, 3)
+		}
+	})
+	return float64(elapsed), err
+}
+
+func TestRecvAnySource(t *testing.T) {
+	m := topology.Dunnington()
+	var sources []int
+	_, err := Run(m, 3, nil, func(r *Rank) {
+		if r.ID() == 0 {
+			for i := 0; i < 2; i++ {
+				msg := r.Recv(AnySource, 1)
+				sources = append(sources, msg.Source)
+			}
+		} else {
+			r.Send(0, 1, 512)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sources) != 2 {
+		t.Fatalf("sources = %v", sources)
+	}
+	if !(sources[0] != sources[1]) {
+		t.Errorf("duplicate source: %v", sources)
+	}
+}
+
+func TestDeadlockReported(t *testing.T) {
+	m := topology.Dunnington()
+	_, err := Run(m, 2, nil, func(r *Rank) {
+		if r.ID() == 0 {
+			r.Recv(1, 9) // never sent
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Errorf("err = %v, want deadlock", err)
+	}
+}
+
+func TestNegativeTagPanics(t *testing.T) {
+	m := topology.Dunnington()
+	defer func() {
+		if recover() == nil {
+			t.Error("negative tag did not panic")
+		}
+	}()
+	_, _ = Run(m, 2, nil, func(r *Rank) {
+		if r.ID() == 0 {
+			r.Send(1, -5, 8)
+		} else {
+			r.Recv(0, 0)
+		}
+	})
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	m := topology.Dunnington()
+	after := make([]int64, 4)
+	_, err := Run(m, 4, nil, func(r *Rank) {
+		// Stagger arrivals; everyone leaves at or after the slowest.
+		r.Compute(float64(r.ID()) * 1e6)
+		r.Barrier()
+		after[r.ID()] = r.Now()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowestArrival := int64(3e6 / 2.4) // cycles at 2.4 GHz -> ns
+	for i, ts := range after {
+		if ts < slowestArrival {
+			t.Errorf("rank %d left the barrier at %d ns, before the slowest arrival %d", i, ts, slowestArrival)
+		}
+	}
+}
+
+func TestBarrierSingleRank(t *testing.T) {
+	m := topology.Athlon3200()
+	if _, err := Run(m, 1, nil, func(r *Rank) { r.Barrier() }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBcastReachesAll(t *testing.T) {
+	m := topology.Dunnington()
+	done := make([]bool, 8)
+	_, err := Run(m, 8, nil, func(r *Rank) {
+		r.Bcast(2, 4096)
+		done[r.ID()] = true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ok := range done {
+		if !ok {
+			t.Errorf("rank %d never finished the bcast", i)
+		}
+	}
+}
+
+func TestGatherAndAllreduce(t *testing.T) {
+	m := topology.Dunnington()
+	_, err := Run(m, 6, nil, func(r *Rank) {
+		r.Gather(0, 1024)
+		r.Allreduce(512)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(m, 1, nil, func(r *Rank) {
+		r.Gather(0, 1024)
+		r.Allreduce(512)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComputeAdvancesClock(t *testing.T) {
+	m := topology.Dunnington() // 2.4 GHz
+	var now int64
+	_, err := Run(m, 1, nil, func(r *Rank) {
+		r.Compute(2400) // 1000 ns
+		now = r.Now()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if now != 1000 {
+		t.Errorf("Now = %d, want 1000", now)
+	}
+}
+
+func TestRankAccessors(t *testing.T) {
+	m := topology.FinisTerrae(2)
+	_, err := Run(m, 2, []int{3, 20}, func(r *Rank) {
+		if r.Size() != 2 {
+			t.Errorf("Size = %d", r.Size())
+		}
+		if r.ID() == 0 && r.Core() != 3 {
+			t.Errorf("rank 0 core = %d", r.Core())
+		}
+		if r.ID() == 1 && r.Core() != 20 {
+			t.Errorf("rank 1 core = %d", r.Core())
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,55 @@
+// Package netsim models the cluster interconnect: one full-duplex NIC
+// per node whose transmit side is a FIFO rate resource, plus a constant
+// one-way wire+stack latency. Concurrent messages leaving the same node
+// serialize on the NIC, which produces the limited scalability of
+// Fig. 10(b) of the paper (N concurrent messages of size S cost close
+// to one message of size N*S).
+package netsim
+
+import (
+	"servet/internal/sim"
+	"servet/internal/topology"
+)
+
+// Fabric is the live interconnect of a simulated cluster.
+type Fabric struct {
+	k   *sim.Kernel
+	net *topology.Network
+	tx  []*sim.Resource // per-node transmit side
+}
+
+// New builds a fabric with one NIC per node.
+func New(k *sim.Kernel, net *topology.Network, nodes int) *Fabric {
+	f := &Fabric{k: k, net: net, tx: make([]*sim.Resource, nodes)}
+	for i := range f.tx {
+		f.tx[i] = sim.NewResource(k)
+	}
+	return f
+}
+
+// LatencyNS returns the one-way message latency in nanoseconds.
+func (f *Fabric) LatencyNS() int64 { return sim.NS(f.net.LatencyUS * 1000) }
+
+// SerializationNS returns the time the NIC needs to put the given
+// payload on the wire. Bandwidth is interpreted as 1 GB/s == 1 byte/ns.
+func (f *Fabric) SerializationNS(bytes int64) int64 {
+	return sim.NS(float64(bytes) / f.net.BandwidthGBs)
+}
+
+// Transfer blocks the calling process while its payload serializes on
+// the sender NIC (queueing FIFO behind earlier messages) and schedules
+// deliver to run when the payload reaches the destination node.
+func (f *Fabric) Transfer(p *sim.Proc, fromNode int, bytes int64, deliver func()) {
+	f.tx[fromNode].Use(p, f.SerializationNS(bytes))
+	f.k.After(f.LatencyNS(), deliver)
+}
+
+// Control schedules deliver after the wire latency only: control
+// messages (RTS/CTS handshakes) are small enough to ignore
+// serialization and NIC queueing.
+func (f *Fabric) Control(deliver func()) {
+	f.k.After(f.LatencyNS(), deliver)
+}
+
+// EagerThreshold returns the fabric's eager/rendezvous protocol switch.
+func (f *Fabric) EagerThreshold() int64 { return f.net.EagerThresholdBytes }

@@ -1,0 +1,104 @@
+package netsim
+
+import (
+	"testing"
+
+	"servet/internal/sim"
+	"servet/internal/topology"
+)
+
+func testNet() *topology.Network {
+	return &topology.Network{
+		Name:                "test-ib",
+		LatencyUS:           6,
+		BandwidthGBs:        1.2,
+		EagerThresholdBytes: 32 << 10,
+	}
+}
+
+func TestLatencyAndSerialization(t *testing.T) {
+	k := sim.New()
+	f := New(k, testNet(), 2)
+	if got := f.LatencyNS(); got != 6000 {
+		t.Errorf("LatencyNS = %d, want 6000", got)
+	}
+	// 1.2 GB/s == 1.2 bytes/ns: 12000 bytes take 10000 ns.
+	if got := f.SerializationNS(12000); got != 10000 {
+		t.Errorf("SerializationNS = %d, want 10000", got)
+	}
+	if got := f.EagerThreshold(); got != 32<<10 {
+		t.Errorf("EagerThreshold = %d", got)
+	}
+}
+
+func TestTransferBlocksSenderAndDelaysDelivery(t *testing.T) {
+	k := sim.New()
+	f := New(k, testNet(), 2)
+	var sendDone, arrived int64
+	k.Go("tx", func(p *sim.Proc) {
+		f.Transfer(p, 0, 12000, func() { arrived = k.Now() })
+		sendDone = p.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sendDone != 10000 {
+		t.Errorf("sender released at %d, want 10000 (after serialization)", sendDone)
+	}
+	if arrived != 16000 {
+		t.Errorf("arrival at %d, want 16000 (serialization + latency)", arrived)
+	}
+}
+
+func TestConcurrentTransfersSerializeOnNIC(t *testing.T) {
+	k := sim.New()
+	f := New(k, testNet(), 2)
+	var arrivals []int64
+	for i := 0; i < 3; i++ {
+		k.Go("tx", func(p *sim.Proc) {
+			f.Transfer(p, 0, 12000, func() { arrivals = append(arrivals, k.Now()) })
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{16000, 26000, 36000}
+	for i, a := range arrivals {
+		if a != want[i] {
+			t.Errorf("arrival %d at %d, want %d", i, a, want[i])
+		}
+	}
+}
+
+func TestSeparateNICsDoNotContend(t *testing.T) {
+	k := sim.New()
+	f := New(k, testNet(), 2)
+	var arrivals []int64
+	for node := 0; node < 2; node++ {
+		node := node
+		k.Go("tx", func(p *sim.Proc) {
+			f.Transfer(p, node, 12000, func() { arrivals = append(arrivals, k.Now()) })
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range arrivals {
+		if a != 16000 {
+			t.Errorf("arrival %d at %d, want 16000 (independent NICs)", i, a)
+		}
+	}
+}
+
+func TestControlSkipsSerialization(t *testing.T) {
+	k := sim.New()
+	f := New(k, testNet(), 1)
+	var at int64
+	f.Control(func() { at = k.Now() })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 6000 {
+		t.Errorf("control arrived at %d, want 6000", at)
+	}
+}

@@ -1,0 +1,192 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Table renders rows as an aligned text table with a header rule.
+func Table(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(headers)
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	sb.WriteString(strings.Repeat("-", total+2*(len(widths)-1)))
+	sb.WriteByte('\n')
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// HumanBytes formats a byte count with binary units (16 KB, 3 MB).
+func HumanBytes(b int64) string {
+	switch {
+	case b >= 1<<20 && b%(1<<20) == 0:
+		return fmt.Sprintf("%d MB", b>>20)
+	case b >= 1<<10 && b%(1<<10) == 0:
+		return fmt.Sprintf("%d KB", b>>10)
+	default:
+		return fmt.Sprintf("%d B", b)
+	}
+}
+
+// formatGroups renders core groups compactly: {0,12} {1,13} ...
+func formatGroups(groups [][]int) string {
+	if len(groups) == 0 {
+		return "private"
+	}
+	parts := make([]string, len(groups))
+	for i, g := range groups {
+		nums := make([]string, len(g))
+		for j, c := range g {
+			nums[j] = fmt.Sprint(c)
+		}
+		parts[i] = "{" + strings.Join(nums, ",") + "}"
+	}
+	return strings.Join(parts, " ")
+}
+
+// Summary renders the whole report as human-readable text: the cache
+// hierarchy, the memory overhead levels with their scalability, the
+// communication layers and the stage timings.
+func (r *Report) Summary() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Servet report for %s (%d node(s) x %d cores, %.2f GHz)\n\n",
+		r.Machine, r.Nodes, r.CoresPerNode, r.ClockGHz)
+
+	sb.WriteString("Cache hierarchy:\n")
+	var cacheRows [][]string
+	for _, c := range r.Caches {
+		cacheRows = append(cacheRows, []string{
+			fmt.Sprintf("L%d", c.Level),
+			HumanBytes(c.SizeBytes),
+			c.Method,
+			formatGroups(c.SharedGroups),
+		})
+	}
+	sb.WriteString(Table([]string{"level", "size", "method", "sharing"}, cacheRows))
+
+	fmt.Fprintf(&sb, "\nMemory: isolated core %.2f GB/s\n", r.Memory.RefBandwidthGBs)
+	for i, lvl := range r.Memory.Levels {
+		fmt.Fprintf(&sb, "  overhead level %d: %.2f GB/s per core, groups %s\n",
+			i, lvl.BandwidthGBs, formatGroups(lvl.Groups))
+		if n := len(lvl.Scalability); n > 0 {
+			last := lvl.Scalability[n-1]
+			fmt.Fprintf(&sb, "    scalability: %.2f GB/s/core at %d cores (aggregate %.2f)\n",
+				last.PerCoreGBs, last.Cores, last.AggregateGBs)
+		}
+	}
+
+	fmt.Fprintf(&sb, "\nCommunication layers (message %s):\n", HumanBytes(r.Comm.MessageBytes))
+	layers := append([]CommLayer(nil), r.Comm.Layers...)
+	sort.Slice(layers, func(i, j int) bool { return layers[i].LatencyUS < layers[j].LatencyUS })
+	var commRows [][]string
+	for _, l := range layers {
+		scal := "-"
+		if n := len(l.Scalability); n > 0 {
+			last := l.Scalability[n-1]
+			scal = fmt.Sprintf("%.1fx at %d msgs", last.Slowdown, last.Messages)
+		}
+		peak := 0.0
+		for _, bp := range l.Bandwidth {
+			if bp.GBs > peak {
+				peak = bp.GBs
+			}
+		}
+		commRows = append(commRows, []string{
+			l.Name,
+			fmt.Sprintf("%.2f us", l.LatencyUS),
+			fmt.Sprint(len(l.Pairs)),
+			fmt.Sprintf("%.2f GB/s", peak),
+			scal,
+		})
+	}
+	sb.WriteString(Table([]string{"layer", "latency", "pairs", "peak bw", "concurrency"}, commRows))
+
+	if len(r.Timings) > 0 {
+		sb.WriteString("\nBenchmark execution times (Table I):\n")
+		var rows [][]string
+		for _, tmg := range r.Timings {
+			rows = append(rows, []string{
+				tmg.Stage,
+				tmg.Wall.String(),
+				tmg.SimulatedProbe.String(),
+			})
+		}
+		sb.WriteString(Table([]string{"benchmark", "wall", "simulated"}, rows))
+	}
+	return sb.String()
+}
+
+// Chart renders an ASCII scatter/line of (x, y) points, log-scaling
+// neither axis: callers pass already-scaled values. It is used by the
+// experiment harness to sketch figure series in the terminal.
+func Chart(title string, xs, ys []float64, width, height int) string {
+	if len(xs) == 0 || len(xs) != len(ys) || width < 8 || height < 2 {
+		return title + ": (no data)\n"
+	}
+	minX, maxX := xs[0], xs[0]
+	minY, maxY := ys[0], ys[0]
+	for i := range xs {
+		if xs[i] < minX {
+			minX = xs[i]
+		}
+		if xs[i] > maxX {
+			maxX = xs[i]
+		}
+		if ys[i] < minY {
+			minY = ys[i]
+		}
+		if ys[i] > maxY {
+			maxY = ys[i]
+		}
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for i := range xs {
+		col := int((xs[i] - minX) / (maxX - minX) * float64(width-1))
+		row := int((ys[i] - minY) / (maxY - minY) * float64(height-1))
+		grid[height-1-row][col] = '*'
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s  [y: %.3g..%.3g, x: %.3g..%.3g]\n", title, minY, maxY, minX, maxX)
+	for _, line := range grid {
+		sb.WriteString("  |")
+		sb.Write(line)
+		sb.WriteByte('\n')
+	}
+	sb.WriteString("  +" + strings.Repeat("-", width) + "\n")
+	return sb.String()
+}

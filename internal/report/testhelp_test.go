@@ -1,0 +1,14 @@
+package report
+
+import "os"
+
+// writeFileAppend appends text to an existing file (test helper).
+func writeFileAppend(path, text string) error {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.WriteString(text)
+	return err
+}

@@ -1,0 +1,91 @@
+package sim
+
+// Proc is a simulation process: a goroutine that runs under the
+// kernel's baton so that exactly one process executes at any moment.
+// All blocking interactions must go through the Proc methods (Sleep,
+// Park) or the synchronization types of this package.
+type Proc struct {
+	k        *Kernel
+	name     string
+	resume   chan struct{} // kernel -> process baton
+	yield    chan struct{} // process -> kernel baton
+	done     bool
+	panicked any // panic value captured from the body, if any
+}
+
+// Go spawns a new process whose body starts executing at the current
+// virtual time (as a scheduled event). The body must only block through
+// sim primitives. A panic in the body is re-raised on the goroutine
+// driving Run, where callers can recover it.
+func (k *Kernel) Go(name string, body func(p *Proc)) *Proc {
+	p := &Proc{
+		k:      k,
+		name:   name,
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+	}
+	go func() {
+		<-p.resume
+		defer func() {
+			if r := recover(); r != nil {
+				p.panicked = r
+			}
+			p.done = true
+			p.yield <- struct{}{}
+		}()
+		body(p)
+	}()
+	k.schedule(k.now, func() { k.step(p) })
+	return p
+}
+
+// step hands the baton to p and waits until it parks or finishes.
+func (k *Kernel) step(p *Proc) {
+	delete(k.parked, p)
+	p.resume <- struct{}{}
+	<-p.yield
+	if p.done && p.panicked != nil {
+		// Surface the body's panic on the caller's goroutine.
+		panic(p.panicked)
+	}
+	if !p.done {
+		k.parked[p] = true
+	}
+}
+
+// park gives the baton back to the kernel and blocks until a wake event
+// resumes the process.
+func (p *Proc) park() {
+	p.yield <- struct{}{}
+	<-p.resume
+}
+
+// Name returns the process name given at spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// Kernel returns the kernel this process runs on.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() int64 { return p.k.now }
+
+// Sleep suspends the process for d nanoseconds of virtual time.
+// Negative durations panic.
+func (p *Proc) Sleep(d int64) {
+	p.k.After(d, func() { p.k.step(p) })
+	p.park()
+}
+
+// Park suspends the process until the wake function passed to register
+// is invoked. register runs before parking, in the process context;
+// wake may be called from any simulation context (another process or
+// an event callback) and always resumes the process through the event
+// queue, preserving the one-process-at-a-time discipline. Calling wake
+// more than once panics via the kernel's baton protocol, so wakers must
+// invoke it exactly once.
+func (p *Proc) Park(register func(wake func())) {
+	register(func() {
+		p.k.schedule(p.k.now, func() { p.k.step(p) })
+	})
+	p.park()
+}

@@ -1,0 +1,177 @@
+package servet_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"servet"
+)
+
+func TestRunDempseyEndToEnd(t *testing.T) {
+	m := servet.Dempsey()
+	rep, err := servet.Run(m, servet.Options{Seed: 1, CommReps: 2, BWSizes: []int64{4096, 65536}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CacheLevel(1).SizeBytes != 16<<10 || rep.CacheLevel(2).SizeBytes != 2<<20 {
+		t.Errorf("cache sizes: %+v", rep.Caches)
+	}
+
+	// Save / Load round trip (the install-time file).
+	path := filepath.Join(t.TempDir(), "servet.json")
+	if err := rep.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := servet.LoadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Machine != "dempsey" {
+		t.Errorf("reloaded machine = %q", back.Machine)
+	}
+
+	// Summary renders.
+	if !strings.Contains(rep.Summary(), "dempsey") {
+		t.Error("summary missing machine name")
+	}
+
+	// Autotune consumers accept the report.
+	tile, err := servet.TileSize(rep, 1, 8, 2, 0.5)
+	if err != nil || tile < 1 {
+		t.Errorf("tile = %d, err %v", tile, err)
+	}
+}
+
+func TestDetectCachesOnly(t *testing.T) {
+	det, cal, err := servet.DetectCaches(servet.Athlon3200(), servet.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(det) != 2 || det[0].SizeBytes != 64<<10 || det[1].SizeBytes != 512<<10 {
+		t.Errorf("detected = %+v", det)
+	}
+	if len(cal.Sizes) == 0 || len(cal.Sizes) != len(cal.Cycles) {
+		t.Errorf("calibration shape: %d sizes, %d cycles", len(cal.Sizes), len(cal.Cycles))
+	}
+}
+
+func TestMcalibratorFacade(t *testing.T) {
+	cal, err := servet.Mcalibrator(servet.Dempsey(), 0, servet.Options{Seed: 1, MaxCacheBytes: 64 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cal.Sizes) == 0 {
+		t.Error("no calibration points")
+	}
+	bad := servet.Dempsey()
+	bad.ClockGHz = 0
+	if _, err := servet.Mcalibrator(bad, 0, servet.Options{}); err == nil {
+		t.Error("invalid machine accepted")
+	}
+}
+
+func TestFacadeValidatesMachines(t *testing.T) {
+	bad := servet.Dempsey()
+	bad.CoresPerNode = 0
+	if _, err := servet.Run(bad, servet.Options{}); err == nil {
+		t.Error("Run accepted an invalid machine")
+	}
+	if _, _, err := servet.DetectCaches(bad, servet.Options{}); err == nil {
+		t.Error("DetectCaches accepted an invalid machine")
+	}
+	if _, err := servet.NewMemorySimulator(bad, 1); err == nil {
+		t.Error("NewMemorySimulator accepted an invalid machine")
+	}
+}
+
+func TestRunApp(t *testing.T) {
+	m := servet.FinisTerrae(2)
+	var delivered bool
+	elapsed, err := servet.RunApp(m, 2, []int{0, 16}, func(r *servet.Rank) {
+		if r.ID() == 0 {
+			r.Send(1, 1, 4096)
+		} else {
+			msg := r.Recv(servet.AnySource, 1)
+			delivered = msg.Bytes == 4096
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !delivered {
+		t.Error("message not delivered")
+	}
+	if elapsed <= 0 {
+		t.Error("no virtual time elapsed")
+	}
+}
+
+func TestMemorySimulator(t *testing.T) {
+	ms, err := servet.NewMemorySimulator(servet.Dempsey(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := ms.Alloc(8 << 10)
+	cold := ms.Access(0, base)
+	warm := ms.Access(0, base)
+	if warm >= cold {
+		t.Errorf("no caching: cold %g, warm %g", cold, warm)
+	}
+	ms.Reset()
+	if again := ms.Access(0, base); again != cold {
+		t.Errorf("reset did not cool the cache: %g vs %g", again, cold)
+	}
+}
+
+func TestModelsExposed(t *testing.T) {
+	models := servet.Models(2)
+	for _, name := range []string{"dunnington", "finisterrae", "dempsey", "athlon3200"} {
+		if models[name] == nil {
+			t.Errorf("model %s missing", name)
+		}
+	}
+}
+
+func TestDetectTLBFacade(t *testing.T) {
+	res, ok, err := servet.DetectTLB(servet.TLBBox(), servet.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || res.Entries != 64 {
+		t.Errorf("TLB = %+v ok=%v, want 64 entries", res, ok)
+	}
+	_, ok, err = servet.DetectTLB(servet.Dempsey(), servet.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("phantom TLB on Dempsey")
+	}
+	bad := servet.TLBBox()
+	bad.ClockGHz = 0
+	if _, _, err := servet.DetectTLB(bad, servet.Options{}); err == nil {
+		t.Error("invalid machine accepted")
+	}
+}
+
+func TestChooseBcastFacade(t *testing.T) {
+	layer := &servet.CommLayer{LatencyUS: 10}
+	choice, err := servet.ChooseBcast(layer, 16, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if choice.Algorithm == "" || choice.TreeUS <= 0 {
+		t.Errorf("choice = %+v", choice)
+	}
+}
+
+func TestNehalemModelExposed(t *testing.T) {
+	m := servet.Nehalem2S()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.TotalCores() != 8 {
+		t.Errorf("cores = %d", m.TotalCores())
+	}
+}
