@@ -14,6 +14,7 @@ import (
 	"strings"
 	"testing"
 
+	"servet"
 	"servet/internal/experiments"
 )
 
@@ -172,4 +173,39 @@ func BenchmarkAblationStride(b *testing.B) {
 func BenchmarkAblationNaiveVsProbabilistic(b *testing.B) {
 	res := runExperiment(b, "ablation2")
 	b.ReportMetric(float64(len(res.Notes)), "naive_failures_fixed")
+}
+
+// Engine benchmarks: the full suite through the probe pipeline,
+// sequential (the paper's stage order) vs concurrently scheduled, on
+// the two multicore clusters of the evaluation. These are the
+// baseline numbers future engine/perf PRs compare against.
+
+func benchSuite(b *testing.B, m *servet.Machine, parallelism int) {
+	b.Helper()
+	opt := servet.Options{Seed: 1, Parallelism: parallelism}
+	for i := 0; i < b.N; i++ {
+		rep, err := servet.Run(m, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Timings) != 4 {
+			b.Fatalf("timings = %+v", rep.Timings)
+		}
+	}
+}
+
+func BenchmarkSuiteSequentialDunnington(b *testing.B) {
+	benchSuite(b, servet.Dunnington(), 1)
+}
+
+func BenchmarkSuiteParallelDunnington(b *testing.B) {
+	benchSuite(b, servet.Dunnington(), 4)
+}
+
+func BenchmarkSuiteSequentialFinisTerrae(b *testing.B) {
+	benchSuite(b, servet.FinisTerrae(2), 1)
+}
+
+func BenchmarkSuiteParallelFinisTerrae(b *testing.B) {
+	benchSuite(b, servet.FinisTerrae(2), 4)
 }

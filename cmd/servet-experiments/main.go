@@ -21,12 +21,13 @@ import (
 
 func main() {
 	var (
-		fig   = flag.String("fig", "all", "experiment id or 'all'")
-		seed  = flag.Int64("seed", 1, "seed for page placement")
-		quick = flag.Bool("quick", false, "fewer repetitions")
-		list  = flag.Bool("list", false, "list experiment ids and exit")
-		plot  = flag.Bool("plot", true, "render ASCII sketches of figures")
-		data  = flag.Bool("data", false, "print raw series points")
+		fig      = flag.String("fig", "all", "experiment id or 'all'")
+		seed     = flag.Int64("seed", 1, "seed for page placement")
+		quick    = flag.Bool("quick", false, "fewer repetitions")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		plot     = flag.Bool("plot", true, "render ASCII sketches of figures")
+		data     = flag.Bool("data", false, "print raw series points")
+		parallel = flag.Int("parallel", 1, "experiments generated concurrently with -fig all")
 	)
 	flag.Parse()
 
@@ -37,7 +38,7 @@ func main() {
 		return
 	}
 
-	opt := experiments.Opt{Seed: *seed, Quick: *quick}
+	opt := experiments.Opt{Seed: *seed, Quick: *quick, Parallelism: *parallel}
 	var results []*experiments.Result
 	if *fig == "all" {
 		all, err := experiments.RunAll(opt)

@@ -7,6 +7,7 @@
 //
 //	servet -machine dunnington -out servet.json
 //	servet -machine finisterrae -nodes 2 -seed 3 -noise 0.01
+//	servet -machine dunnington -probes cache-size,tlb -parallel 4
 package main
 
 import (
@@ -21,15 +22,23 @@ import (
 
 func main() {
 	var (
-		machine = flag.String("machine", "dunnington", "machine model (see -list)")
-		nodes   = flag.Int("nodes", 2, "cluster nodes for multi-node models")
-		out     = flag.String("out", "", "write the JSON report to this path")
-		seed    = flag.Int64("seed", 1, "seed for page placement and noise")
-		noise   = flag.Float64("noise", 0, "relative measurement noise (e.g. 0.02)")
-		quick   = flag.Bool("quick", false, "fewer repetitions (faster, less precise)")
-		list    = flag.Bool("list", false, "list machine models and exit")
+		machine    = flag.String("machine", "dunnington", "machine model (see -list)")
+		nodes      = flag.Int("nodes", 2, "cluster nodes for multi-node models")
+		out        = flag.String("out", "", "write the JSON report to this path")
+		seed       = flag.Int64("seed", 1, "seed for page placement and noise")
+		noise      = flag.Float64("noise", 0, "relative measurement noise (e.g. 0.02)")
+		quick      = flag.Bool("quick", false, "fewer repetitions (faster, less precise)")
+		list       = flag.Bool("list", false, "list machine models and exit")
+		probes     = flag.String("probes", "", "comma-separated probe subset (default: full suite; see -list-probes)")
+		parallel   = flag.Int("parallel", 1, "how many independent probes run concurrently")
+		listProbes = flag.Bool("list-probes", false, "list probe names and exit")
 	)
 	flag.Parse()
+
+	if *listProbes {
+		fmt.Println(strings.Join(servet.ProbeNames(), "\n"))
+		return
+	}
 
 	models := servet.Models(*nodes)
 	if *list {
@@ -47,14 +56,23 @@ func main() {
 		os.Exit(2)
 	}
 
-	opt := servet.Options{Seed: *seed, NoiseSigma: *noise}
+	opt := servet.Options{Seed: *seed, NoiseSigma: *noise, Parallelism: *parallel}
 	if *quick {
 		opt.CommReps = 2
 		opt.Allocations = 2
 		opt.BWSizes = []int64{4 << 10, 64 << 10, 1 << 20}
 	}
 
-	rep, err := servet.Run(m, opt)
+	var names []string
+	if *probes != "" {
+		for _, name := range strings.Split(*probes, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				names = append(names, name)
+			}
+		}
+	}
+
+	rep, err := servet.RunProbes(m, opt, names...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "servet: %v\n", err)
 		os.Exit(1)

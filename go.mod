@@ -1,0 +1,3 @@
+module servet
+
+go 1.24

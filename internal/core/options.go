@@ -62,6 +62,11 @@ type Options struct {
 	// size, which separates channels that happen to coincide at a
 	// single probe size. Empty means [message size].
 	LayerSizes []int64
+	// Parallelism bounds how many independent probes the engine runs
+	// concurrently (default 1: the paper's sequential stage order).
+	// The merged report is identical at any parallelism; only wall
+	// times change.
+	Parallelism int
 	// Seed drives page placement and measurement noise (default 1).
 	Seed int64
 	// NoiseSigma adds relative Gaussian noise to measurements to
@@ -109,6 +114,9 @@ func (o Options) withDefaults(m *topology.Machine) Options {
 		for s := int64(1 * topology.KB); s <= 4*topology.MB; s *= 2 {
 			o.BWSizes = append(o.BWSizes, s)
 		}
+	}
+	if o.Parallelism < 1 {
+		o.Parallelism = 1
 	}
 	if o.Seed == 0 {
 		o.Seed = 1

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"context"
+	"time"
+
+	"servet/internal/memsys"
+	"servet/internal/report"
+	"servet/internal/topology"
+)
+
+// The built-in probes: the four paper benchmarks (Sections III-A to
+// III-D) plus the TLB extension. Registration order is the paper's
+// stage order, which fixes the merge and timing order of the report.
+func init() {
+	Register(cacheSizeProbe{})
+	Register(sharedCachesProbe{})
+	Register(memoryOverheadProbe{})
+	Register(commCostsProbe{})
+	Register(tlbProbe{})
+}
+
+// cacheSizeOutput is the cache-size probe's Value: the detected
+// levels and the raw calibration curve.
+type cacheSizeOutput struct {
+	levels []DetectedCache
+	cal    Calibration
+}
+
+// calibrateAndDetect runs mcalibrator on core 0 and the Fig. 4
+// driver on the raw curve — the exact sequence (and simulated probe
+// cost) of the original suite. Shared by Suite.DetectCaches and the
+// cache-size probe.
+func calibrateAndDetect(m *topology.Machine, opt Options) ([]DetectedCache, Calibration) {
+	in := memsys.NewInstance(m, opt.Seed)
+	cal := Mcalibrator(in, 0, opt)
+	return DetectCacheSizes(cal, m.PageBytes, opt), cal
+}
+
+// cacheSizeProbe runs mcalibrator on core 0 and the Fig. 4 driver
+// (Section III-A).
+type cacheSizeProbe struct{}
+
+func (cacheSizeProbe) Name() string   { return probeCacheSize }
+func (cacheSizeProbe) Deps() []string { return nil }
+
+func (cacheSizeProbe) Run(ctx context.Context, env *Env) (Partial, error) {
+	levels, cal := calibrateAndDetect(env.Machine, env.Opt)
+	if len(levels) == 0 {
+		return Partial{}, &NoCacheLevelsError{Machine: env.Machine.Name}
+	}
+	return Partial{
+		Apply: func(r *report.Report) {
+			for _, lvl := range levels {
+				r.Caches = append(r.Caches, report.CacheResult{
+					Level:     lvl.Level,
+					SizeBytes: lvl.SizeBytes,
+					Method:    lvl.Method,
+				})
+			}
+		},
+		SimulatedProbe: time.Duration(env.Machine.CyclesToNS(cal.ProbeCycles)),
+		Value:          cacheSizeOutput{levels: levels, cal: cal},
+	}, nil
+}
+
+// sharedCachesProbe determines which cores share each detected cache
+// (Section III-B).
+type sharedCachesProbe struct{}
+
+func (sharedCachesProbe) Name() string   { return probeShared }
+func (sharedCachesProbe) Deps() []string { return []string{probeCacheSize} }
+
+func (sharedCachesProbe) Run(ctx context.Context, env *Env) (Partial, error) {
+	levels, err := env.CacheLevels()
+	if err != nil {
+		return Partial{}, err
+	}
+	shared := SharedCaches(env.Machine, levels, env.Opt)
+	var cycles float64
+	for i := range levels {
+		if i < len(shared) {
+			cycles += shared[i].ProbeCycles
+		}
+	}
+	return Partial{
+		Apply: func(r *report.Report) {
+			// The cache-size probe merges before this one (it is a
+			// dependency, hence earlier in registration order), so the
+			// level entries already exist.
+			for i := range r.Caches {
+				if i < len(shared) {
+					r.Caches[i].SharedGroups = shared[i].Groups
+				}
+			}
+		},
+		SimulatedProbe: time.Duration(env.Machine.CyclesToNS(cycles)),
+		Value:          shared,
+	}, nil
+}
+
+// memoryOverheadProbe characterizes concurrent memory-access
+// overheads (Section III-C). It needs no other probe's output.
+type memoryOverheadProbe struct{}
+
+func (memoryOverheadProbe) Name() string   { return probeMemory }
+func (memoryOverheadProbe) Deps() []string { return nil }
+
+func (memoryOverheadProbe) Run(ctx context.Context, env *Env) (Partial, error) {
+	memRes, memNS := MemoryOverhead(env.Machine, env.Opt)
+	return Partial{
+		Apply:          func(r *report.Report) { r.Memory = memRes },
+		SimulatedProbe: time.Duration(memNS),
+		Value:          memRes,
+	}, nil
+}
+
+// commCostsProbe characterizes the communication layers (Section
+// III-D) using the detected L1 size as message size — the dependency
+// on the cache-size probe the legacy sequential suite expressed only
+// by statement order.
+type commCostsProbe struct{}
+
+func (commCostsProbe) Name() string   { return probeComm }
+func (commCostsProbe) Deps() []string { return []string{probeCacheSize} }
+
+func (commCostsProbe) Run(ctx context.Context, env *Env) (Partial, error) {
+	// The cache-size probe fails with NoCacheLevelsError rather than
+	// complete with an empty slice, so levels is never empty here.
+	levels, err := env.CacheLevels()
+	if err != nil {
+		return Partial{}, err
+	}
+	commRes, commNS, err := CommunicationCosts(env.Machine, levels[0].SizeBytes, env.Opt)
+	if err != nil {
+		return Partial{}, err
+	}
+	return Partial{
+		Apply:          func(r *report.Report) { r.Comm = commRes },
+		SimulatedProbe: time.Duration(commNS),
+		Value:          commRes,
+	}, nil
+}
+
+// tlbProbe is the TLB extension probe. It is registered (so -probes
+// can request it) but not part of DefaultProbes: the paper's suite is
+// the four stages above.
+type tlbProbe struct{}
+
+func (tlbProbe) Name() string   { return probeTLB }
+func (tlbProbe) Deps() []string { return nil }
+
+func (tlbProbe) Run(ctx context.Context, env *Env) (Partial, error) {
+	in := memsys.NewInstance(env.Machine, env.Opt.Seed)
+	res, ok := DetectTLB(in, 0, env.Opt)
+	return Partial{
+		Apply: func(r *report.Report) {
+			if ok {
+				r.TLB = &report.TLBResult{Entries: res.Entries, MissCycles: res.MissCycles}
+			}
+		},
+		SimulatedProbe: time.Duration(env.Machine.CyclesToNS(res.ProbeCycles)),
+		Value:          res,
+	}, nil
+}

@@ -1,16 +1,21 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
-	"time"
 
-	"servet/internal/memsys"
 	"servet/internal/report"
+	"servet/internal/sched"
 	"servet/internal/topology"
 )
 
-// Suite runs the four Servet benchmarks on a machine and assembles the
-// install-time report.
+// Suite runs Servet probes on a machine and assembles the
+// install-time report. Probes come from the package registry; the
+// engine schedules them over their dependency DAG, concurrently when
+// Options.Parallelism allows, and merges their results in
+// registration order so the report is identical regardless of
+// completion order.
 type Suite struct {
 	m   *topology.Machine
 	opt Options
@@ -33,75 +38,74 @@ func (s *Suite) Options() Options { return s.opt }
 
 // DetectCaches runs mcalibrator on core 0 and the Fig. 4 driver.
 func (s *Suite) DetectCaches() ([]DetectedCache, Calibration) {
-	in := memsys.NewInstance(s.m, s.opt.Seed)
-	cal := Mcalibrator(in, 0, s.opt)
-	return DetectCacheSizes(cal, s.m.PageBytes, s.opt), cal
+	return calibrateAndDetect(s.m, s.opt)
 }
 
-// Run executes the whole suite: cache sizes, shared caches, memory
-// overhead and communication costs, recording per-stage wall and
-// simulated-probe times (Table I).
+// Run executes the whole suite — the four paper benchmarks of
+// DefaultProbes — recording per-stage wall and simulated-probe times
+// (Table I).
 func (s *Suite) Run() (*report.Report, error) {
+	return s.RunProbes(context.Background())
+}
+
+// RunProbes executes the named probes plus their transitive
+// dependencies (no names means DefaultProbes). Independent probes run
+// concurrently up to Options.Parallelism; results merge into the
+// report in registration order, with one StageTiming per executed
+// probe. A probe failure is returned as a *ProbeError; cancelling the
+// context aborts the run.
+func (s *Suite) RunProbes(ctx context.Context, names ...string) (*report.Report, error) {
+	if len(names) == 0 {
+		names = DefaultProbes()
+	}
+	probes, err := probeClosure(names)
+	if err != nil {
+		return nil, err
+	}
+
+	env := newEnv(s.m, s.opt)
+	tasks := make([]sched.Task, len(probes))
+	for i, p := range probes {
+		p := p
+		tasks[i] = sched.Task{
+			Name: p.Name(),
+			Deps: p.Deps(),
+			Run: func(ctx context.Context) error {
+				part, err := p.Run(ctx, env)
+				if err != nil {
+					return err
+				}
+				env.put(p.Name(), part)
+				return nil
+			},
+		}
+	}
+
+	results, err := sched.Run(ctx, tasks, s.opt.Parallelism)
+	if err != nil {
+		var te *sched.TaskError
+		if errors.As(err, &te) {
+			return nil, &ProbeError{Probe: te.Name, Err: te.Err}
+		}
+		return nil, err
+	}
+
 	r := &report.Report{
 		Machine:      s.m.Name,
 		ClockGHz:     s.m.ClockGHz,
 		Nodes:        s.m.Nodes,
 		CoresPerNode: s.m.CoresPerNode,
 	}
-
-	// Stage 1: cache size estimate (Section III-A).
-	start := time.Now()
-	levels, cal := s.DetectCaches()
-	simNS := s.m.CyclesToNS(cal.ProbeCycles)
-	r.Timings = append(r.Timings, report.StageTiming{
-		Stage: "cache-size", Wall: time.Since(start),
-		SimulatedProbe: time.Duration(simNS),
-	})
-	if len(levels) == 0 {
-		return nil, fmt.Errorf("core: no cache levels detected on %s", s.m.Name)
-	}
-
-	// Stage 2: determination of shared caches (Section III-B).
-	start = time.Now()
-	shared := SharedCaches(s.m, levels, s.opt)
-	var sharedCycles float64
-	for i, lvl := range levels {
-		cr := report.CacheResult{
-			Level:     lvl.Level,
-			SizeBytes: lvl.SizeBytes,
-			Method:    lvl.Method,
+	for i, p := range probes {
+		part, _ := env.Output(p.Name())
+		if part.Apply != nil {
+			part.Apply(r)
 		}
-		if i < len(shared) {
-			cr.SharedGroups = shared[i].Groups
-			sharedCycles += shared[i].ProbeCycles
-		}
-		r.Caches = append(r.Caches, cr)
+		r.Timings = append(r.Timings, report.StageTiming{
+			Stage:          p.Name(),
+			Wall:           results[i].Wall,
+			SimulatedProbe: part.SimulatedProbe,
+		})
 	}
-	r.Timings = append(r.Timings, report.StageTiming{
-		Stage: "shared-caches", Wall: time.Since(start),
-		SimulatedProbe: time.Duration(s.m.CyclesToNS(sharedCycles)),
-	})
-
-	// Stage 3: memory access overhead (Section III-C).
-	start = time.Now()
-	memRes, memNS := MemoryOverhead(s.m, s.opt)
-	r.Memory = memRes
-	r.Timings = append(r.Timings, report.StageTiming{
-		Stage: "memory-overhead", Wall: time.Since(start),
-		SimulatedProbe: time.Duration(memNS),
-	})
-
-	// Stage 4: communication costs (Section III-D), with the detected
-	// L1 size as message size.
-	start = time.Now()
-	commRes, commNS, err := CommunicationCosts(s.m, levels[0].SizeBytes, s.opt)
-	if err != nil {
-		return nil, err
-	}
-	r.Comm = commRes
-	r.Timings = append(r.Timings, report.StageTiming{
-		Stage: "communication-costs", Wall: time.Since(start),
-		SimulatedProbe: time.Duration(commNS),
-	})
 	return r, nil
 }

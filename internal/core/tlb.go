@@ -11,6 +11,9 @@ type DetectedTLB struct {
 	Entries int
 	// MissCycles is the measured translation-miss penalty.
 	MissCycles float64
+	// ProbeCycles is the total simulated cycles the probe's accesses
+	// consumed (reported even when no TLB was found).
+	ProbeCycles float64
 }
 
 // DetectTLB is an extension probe beyond the paper's suite, in the
@@ -35,6 +38,7 @@ func DetectTLB(in *memsys.Instance, coreID int, opt Options) (DetectedTLB, bool)
 
 	var pages []int
 	var cycles []float64
+	var probeCycles float64
 	sp := in.NewSpace()
 	for np := 4; np <= maxPages; np *= 2 {
 		in.ResetCaches()
@@ -44,6 +48,7 @@ func DetectTLB(in *memsys.Instance, coreID int, opt Options) (DetectedTLB, bool)
 		for pass := 0; pass <= opt.Passes; pass++ {
 			for i := 0; i < np; i++ {
 				c := in.Access(coreID, sp, arr.Base+int64(i)*stride)
+				probeCycles += c
 				if pass > 0 {
 					sum += c
 					n++
@@ -58,11 +63,12 @@ func DetectTLB(in *memsys.Instance, coreID int, opt Options) (DetectedTLB, bool)
 	g := stats.Gradient(cycles)
 	runs := stats.FindRuns(g, opt.GradientThreshold, opt.PeakMin)
 	if len(runs) == 0 {
-		return DetectedTLB{}, false
+		return DetectedTLB{ProbeCycles: probeCycles}, false
 	}
 	k := runs[0].Peak
 	return DetectedTLB{
-		Entries:    pages[k],
-		MissCycles: cycles[len(cycles)-1] - cycles[0],
+		Entries:     pages[k],
+		MissCycles:  cycles[len(cycles)-1] - cycles[0],
+		ProbeCycles: probeCycles,
 	}, true
 }

@@ -6,9 +6,13 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
+
+	"servet/internal/sched"
 )
 
 // Series is one plotted line of a figure.
@@ -43,6 +47,11 @@ type Opt struct {
 	Seed int64
 	// Quick trades measurement repetitions for speed (used by tests).
 	Quick bool
+	// Parallelism bounds how many experiments RunAll generates
+	// concurrently (default 1). Every experiment builds its own
+	// simulator instances, so results are identical at any
+	// parallelism.
+	Parallelism int
 }
 
 func (o Opt) seed() int64 {
@@ -103,15 +112,40 @@ func Run(id string, opt Opt) (*Result, error) {
 	return res, nil
 }
 
-// RunAll regenerates every experiment in id order.
+// RunAll regenerates every experiment through the probe-engine
+// scheduler (internal/sched): the independent generators fan out over
+// at most Opt.Parallelism workers, and the results come back in id
+// order regardless of completion order. On failure it returns the
+// results that completed (still in id order) and the error of the
+// failed experiment earliest in id order.
 func RunAll(opt Opt) ([]*Result, error) {
-	var out []*Result
-	for _, id := range IDs() {
-		res, err := Run(id, opt)
-		if err != nil {
-			return out, err
+	ids := IDs()
+	slots := make([]*Result, len(ids))
+	tasks := make([]sched.Task, len(ids))
+	for i, id := range ids {
+		i, id := i, id
+		tasks[i] = sched.Task{
+			Name: id,
+			Run: func(ctx context.Context) error {
+				res, err := Run(id, opt)
+				if err != nil {
+					return err
+				}
+				slots[i] = res
+				return nil
+			},
 		}
-		out = append(out, res)
 	}
-	return out, nil
+	_, err := sched.Run(context.Background(), tasks, opt.Parallelism)
+	var te *sched.TaskError
+	if errors.As(err, &te) {
+		err = te.Err // Run already prefixed the experiment id
+	}
+	out := make([]*Result, 0, len(ids))
+	for _, res := range slots {
+		if res != nil {
+			out = append(out, res)
+		}
+	}
+	return out, err
 }

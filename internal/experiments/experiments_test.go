@@ -250,12 +250,21 @@ func TestRunAllQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("all experiments")
 	}
-	results, err := RunAll(quick)
+	// Fan the generators out over the scheduler; the results must
+	// still come back complete and in id order.
+	opt := quick
+	opt.Parallelism = 4
+	results, err := RunAll(opt)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(results) != len(IDs()) {
 		t.Fatalf("results = %d, want %d", len(results), len(IDs()))
+	}
+	for i, res := range results {
+		if res.ID != IDs()[i] {
+			t.Errorf("result %d = %s, want %s (id order)", i, res.ID, IDs()[i])
+		}
 	}
 	for _, res := range results {
 		if res.ID == "" || res.Title == "" {

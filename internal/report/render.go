@@ -90,6 +90,11 @@ func (r *Report) Summary() string {
 	}
 	sb.WriteString(Table([]string{"level", "size", "method", "sharing"}, cacheRows))
 
+	if r.TLB != nil {
+		fmt.Fprintf(&sb, "\nTLB: %d entries, miss penalty %.1f cycles\n",
+			r.TLB.Entries, r.TLB.MissCycles)
+	}
+
 	fmt.Fprintf(&sb, "\nMemory: isolated core %.2f GB/s\n", r.Memory.RefBandwidthGBs)
 	for i, lvl := range r.Memory.Levels {
 		fmt.Fprintf(&sb, "  overhead level %d: %.2f GB/s per core, groups %s\n",

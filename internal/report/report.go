@@ -27,6 +27,9 @@ type Report struct {
 	Memory MemoryResult `json:"memory"`
 	// Comm characterizes the communication layers.
 	Comm CommResult `json:"comm"`
+	// TLB is the result of the optional TLB extension probe; nil when
+	// the probe did not run or detected no TLB.
+	TLB *TLBResult `json:"tlb,omitempty"`
 	// Timings records the execution time of each benchmark stage
 	// (Table I of the paper).
 	Timings []StageTiming `json:"timings"`
@@ -132,6 +135,14 @@ type CommScalPoint struct {
 	MeanCompletionUS float64 `json:"mean_completion_us"`
 	// Slowdown is MeanCompletion relative to a single message.
 	Slowdown float64 `json:"slowdown"`
+}
+
+// TLBResult is the output of the TLB extension probe.
+type TLBResult struct {
+	// Entries is the detected number of TLB entries.
+	Entries int `json:"entries"`
+	// MissCycles is the measured translation-miss penalty.
+	MissCycles float64 `json:"miss_cycles"`
 }
 
 // StageTiming records how long one benchmark stage took (Table I).

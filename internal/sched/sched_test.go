@@ -1,0 +1,289 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// runOrder runs tasks sequentially and records completion order.
+func runOrder(t *testing.T, tasks []Task, parallelism int) []string {
+	t.Helper()
+	var mu sync.Mutex
+	var order []string
+	wrapped := make([]Task, len(tasks))
+	for i, tk := range tasks {
+		tk := tk
+		wrapped[i] = Task{Name: tk.Name, Deps: tk.Deps, Run: func(ctx context.Context) error {
+			var err error
+			if tk.Run != nil {
+				err = tk.Run(ctx)
+			}
+			mu.Lock()
+			order = append(order, tk.Name)
+			mu.Unlock()
+			return err
+		}}
+	}
+	if _, err := Run(context.Background(), wrapped, parallelism); err != nil {
+		t.Fatal(err)
+	}
+	return order
+}
+
+func TestRunSequentialOrderIsInputOrder(t *testing.T) {
+	tasks := []Task{{Name: "a"}, {Name: "b"}, {Name: "c", Deps: []string{"a"}}}
+	order := runOrder(t, tasks, 1)
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestRunRespectsDependencies(t *testing.T) {
+	// Diamond: d needs b and c, which both need a. Run with high
+	// parallelism and check deps always complete first.
+	tasks := []Task{
+		{Name: "d", Deps: []string{"b", "c"}},
+		{Name: "b", Deps: []string{"a"}},
+		{Name: "c", Deps: []string{"a"}},
+		{Name: "a"},
+	}
+	for trial := 0; trial < 20; trial++ {
+		order := runOrder(t, tasks, 4)
+		pos := map[string]int{}
+		for i, n := range order {
+			pos[n] = i
+		}
+		if pos["a"] > pos["b"] || pos["a"] > pos["c"] || pos["b"] > pos["d"] || pos["c"] > pos["d"] {
+			t.Fatalf("dependency violated: %v", order)
+		}
+	}
+}
+
+func TestRunResultsInInputOrder(t *testing.T) {
+	tasks := []Task{
+		{Name: "z", Run: func(context.Context) error { return nil }},
+		{Name: "a", Run: func(context.Context) error { return nil }},
+	}
+	res, err := Run(context.Background(), tasks, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Name != "z" || res[1].Name != "a" {
+		t.Errorf("results = %+v", res)
+	}
+	for _, r := range res {
+		if r.Skipped || r.Err != nil {
+			t.Errorf("%s: %+v", r.Name, r)
+		}
+	}
+}
+
+func TestRunActuallyConcurrent(t *testing.T) {
+	// Two tasks that each wait for the other to start: deadlocks
+	// unless both run at once.
+	aStarted := make(chan struct{})
+	bStarted := make(chan struct{})
+	tasks := []Task{
+		{Name: "a", Run: func(context.Context) error {
+			close(aStarted)
+			<-bStarted
+			return nil
+		}},
+		{Name: "b", Run: func(context.Context) error {
+			close(bStarted)
+			<-aStarted
+			return nil
+		}},
+	}
+	if _, err := Run(context.Background(), tasks, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFailureSkipsDependents(t *testing.T) {
+	boom := errors.New("boom")
+	ran := map[string]bool{}
+	var mu sync.Mutex
+	mark := func(name string) func(context.Context) error {
+		return func(context.Context) error {
+			mu.Lock()
+			ran[name] = true
+			mu.Unlock()
+			return nil
+		}
+	}
+	tasks := []Task{
+		{Name: "a", Run: func(context.Context) error { return boom }},
+		{Name: "b", Deps: []string{"a"}, Run: mark("b")},
+		{Name: "c", Deps: []string{"b"}, Run: mark("c")},
+	}
+	res, err := Run(context.Background(), tasks, 1)
+	var te *TaskError
+	if !errors.As(err, &te) || te.Name != "a" || !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if ran["b"] || ran["c"] {
+		t.Errorf("dependents ran after failure: %v", ran)
+	}
+	if !res[1].Skipped || !res[2].Skipped {
+		t.Errorf("results = %+v", res)
+	}
+}
+
+func TestRunErrorChoosesEarliestInInputOrder(t *testing.T) {
+	// Both independent tasks fail; the reported error must be the
+	// earlier one in input order no matter who finishes first.
+	errA, errB := errors.New("a failed"), errors.New("b failed")
+	for trial := 0; trial < 10; trial++ {
+		tasks := []Task{
+			{Name: "a", Run: func(context.Context) error { return errA }},
+			{Name: "b", Run: func(context.Context) error { return errB }},
+		}
+		_, err := Run(context.Background(), tasks, 2)
+		var te *TaskError
+		if !errors.As(err, &te) {
+			t.Fatalf("err = %v", err)
+		}
+		// With parallelism 2 both may start before the abort; whichever
+		// set of errors was recorded, the winner is the earliest task
+		// that did fail — and a always fails.
+		if te.Name != "a" {
+			t.Fatalf("reported %s, want a", te.Name)
+		}
+	}
+}
+
+// TestRunErrorNotMaskedByCancellationCasualty: when a later-input
+// task fails and an earlier-input ctx-honoring task comes back with
+// context.Canceled from the resulting abort, the reported error must
+// be the real failure, not the casualty.
+func TestRunErrorNotMaskedByCancellationCasualty(t *testing.T) {
+	boom := errors.New("boom")
+	bFailed := make(chan struct{})
+	tasks := []Task{
+		{Name: "a", Run: func(ctx context.Context) error {
+			<-bFailed
+			<-ctx.Done()
+			return ctx.Err()
+		}},
+		{Name: "b", Run: func(context.Context) error {
+			defer close(bFailed)
+			return boom
+		}},
+	}
+	_, err := Run(context.Background(), tasks, 2)
+	var te *TaskError
+	if !errors.As(err, &te) || te.Name != "b" || !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want b's failure", err)
+	}
+}
+
+// TestRunCallerCancellationSurfacesPlain: a caller-cancelled run whose
+// tasks return ctx.Err() reports context.Canceled itself, not a
+// TaskError blaming a task.
+func TestRunCallerCancellationSurfacesPlain(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	tasks := []Task{{Name: "a", Run: func(ctx context.Context) error {
+		cancel()
+		<-ctx.Done()
+		return ctx.Err()
+	}}}
+	_, err := Run(ctx, tasks, 1)
+	var te *TaskError
+	if errors.As(err, &te) {
+		t.Fatalf("err = %v, want plain cancellation", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunCycleDetected(t *testing.T) {
+	tasks := []Task{
+		{Name: "a", Deps: []string{"c"}},
+		{Name: "b", Deps: []string{"a"}},
+		{Name: "c", Deps: []string{"b"}},
+	}
+	_, err := Run(context.Background(), tasks, 1)
+	var ce *CycleError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want CycleError", err)
+	}
+	if len(ce.Cycle) < 3 {
+		t.Errorf("cycle = %v", ce.Cycle)
+	}
+}
+
+func TestRunSelfCycleDetected(t *testing.T) {
+	_, err := Run(context.Background(), []Task{{Name: "a", Deps: []string{"a"}}}, 1)
+	var ce *CycleError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want CycleError", err)
+	}
+}
+
+func TestRunUnknownDep(t *testing.T) {
+	_, err := Run(context.Background(), []Task{{Name: "a", Deps: []string{"ghost"}}}, 1)
+	var ue *UnknownDepError
+	if !errors.As(err, &ue) || ue.Dep != "ghost" {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunDuplicateName(t *testing.T) {
+	_, err := Run(context.Background(), []Task{{Name: "a"}, {Name: "a"}}, 1)
+	var de *DuplicateTaskError
+	if !errors.As(err, &de) || de.Name != "a" {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	res, err := Run(ctx, []Task{{Name: "a", Run: func(context.Context) error { ran = true; return nil }}}, 1)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if ran {
+		t.Error("task ran under cancelled context")
+	}
+	if len(res) != 1 || !res[0].Skipped {
+		t.Errorf("results = %+v", res)
+	}
+}
+
+func TestRunEmptyTaskSet(t *testing.T) {
+	res, err := Run(context.Background(), nil, 4)
+	if err != nil || len(res) != 0 {
+		t.Fatalf("res = %v, err = %v", res, err)
+	}
+}
+
+func TestRunManyIndependentTasks(t *testing.T) {
+	var n int64
+	var mu sync.Mutex
+	var tasks []Task
+	for i := 0; i < 100; i++ {
+		tasks = append(tasks, Task{Name: fmt.Sprint(i), Run: func(context.Context) error {
+			mu.Lock()
+			n++
+			mu.Unlock()
+			return nil
+		}})
+	}
+	res, err := Run(context.Background(), tasks, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 100 || len(res) != 100 {
+		t.Errorf("ran %d of 100", n)
+	}
+}

@@ -28,6 +28,7 @@
 package servet
 
 import (
+	"context"
 	"time"
 
 	"servet/internal/autotune"
@@ -67,6 +68,8 @@ type (
 	CommLayer = report.CommLayer
 	// StageTiming is one row of the Table I timing report.
 	StageTiming = report.StageTiming
+	// TLBResult is the optional TLB extension probe's report entry.
+	TLBResult = report.TLBResult
 )
 
 // DetectedCache is one cache level found by the detection driver.
@@ -100,14 +103,47 @@ var (
 
 // Run executes the full suite (cache sizes, shared caches, memory
 // overhead, communication costs) on the machine and returns the
-// report.
+// report. It is RunProbes with the default probe set.
 func Run(m *Machine, opt Options) (*Report, error) {
+	return RunProbes(m, opt)
+}
+
+// RunProbes executes only the named probes, plus their transitive
+// dependencies (e.g. "communication-costs" pulls in "cache-size" for
+// the message size). No names means the full default suite. Probes
+// with satisfied dependencies run concurrently up to
+// Options.Parallelism; the merged report is identical at any
+// parallelism. See ProbeNames for the registry.
+func RunProbes(m *Machine, opt Options, names ...string) (*Report, error) {
+	return RunProbesContext(context.Background(), m, opt, names...)
+}
+
+// RunProbesContext is RunProbes with a context: cancelling it aborts
+// the run between probes.
+func RunProbesContext(ctx context.Context, m *Machine, opt Options, names ...string) (*Report, error) {
 	s, err := core.NewSuite(m, opt)
 	if err != nil {
 		return nil, err
 	}
-	return s.Run()
+	return s.RunProbes(ctx, names...)
 }
+
+// Probe registry introspection and engine error types.
+var (
+	// ProbeNames lists every registered probe in canonical order.
+	ProbeNames = core.ProbeNames
+	// DefaultProbes lists the four paper benchmarks Run executes.
+	DefaultProbes = core.DefaultProbes
+)
+
+// Engine error types: a failed probe surfaces as a *ProbeError whose
+// Unwrap yields the cause (e.g. *NoCacheLevelsError when a machine
+// shows no detectable cache levels).
+type (
+	ProbeError         = core.ProbeError
+	NoCacheLevelsError = core.NoCacheLevelsError
+	UnknownProbeError  = core.UnknownProbeError
+)
 
 // DetectCaches runs only the cache-size benchmark (mcalibrator plus
 // the Fig. 4 detection driver) and returns the detected levels along

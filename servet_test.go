@@ -43,6 +43,58 @@ func TestRunDempseyEndToEnd(t *testing.T) {
 	}
 }
 
+// TestRunProbesCacheSizeOnly: the probe engine runs just the
+// requested probe (it has no dependencies), leaving the rest of the
+// report empty.
+func TestRunProbesCacheSizeOnly(t *testing.T) {
+	rep, err := servet.RunProbes(servet.Dempsey(), servet.Options{Seed: 1}, "cache-size")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Timings) != 1 || rep.Timings[0].Stage != "cache-size" {
+		t.Fatalf("timings = %+v", rep.Timings)
+	}
+	if rep.CacheLevel(1).SizeBytes != 16<<10 {
+		t.Errorf("caches = %+v", rep.Caches)
+	}
+	if len(rep.Comm.Layers) != 0 || len(rep.Memory.Levels) != 0 {
+		t.Errorf("unrequested probes ran: %+v", rep)
+	}
+}
+
+// TestRunProbesParallelFullSuite: a concurrent run of the full suite
+// merges into the same report as Run.
+func TestRunProbesParallelFullSuite(t *testing.T) {
+	opt := servet.Options{Seed: 1, CommReps: 2, BWSizes: []int64{4096, 65536}}
+	seq, err := servet.Run(servet.Dempsey(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Parallelism = 4
+	par, err := servet.Run(servet.Dempsey(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par.Timings) != 4 {
+		t.Fatalf("timings = %+v", par.Timings)
+	}
+	if par.CacheLevel(1).SizeBytes != seq.CacheLevel(1).SizeBytes ||
+		par.Comm.MessageBytes != seq.Comm.MessageBytes ||
+		len(par.Memory.Levels) != len(seq.Memory.Levels) {
+		t.Errorf("parallel report diverges:\nseq %+v\npar %+v", seq, par)
+	}
+}
+
+func TestProbeRegistryFacade(t *testing.T) {
+	names := servet.ProbeNames()
+	if len(names) < 5 {
+		t.Fatalf("probes = %v", names)
+	}
+	if _, err := servet.RunProbes(servet.Dempsey(), servet.Options{Seed: 1}, "no-such-probe"); err == nil {
+		t.Error("unknown probe accepted")
+	}
+}
+
 func TestDetectCachesOnly(t *testing.T) {
 	det, cal, err := servet.DetectCaches(servet.Athlon3200(), servet.Options{Seed: 1})
 	if err != nil {
