@@ -11,6 +11,7 @@
 package servet_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -196,6 +197,48 @@ func benchSuite(b *testing.B, m *servet.Machine, parallelism int) {
 
 func BenchmarkSuiteSequentialDunnington(b *testing.B) {
 	benchSuite(b, servet.Dunnington(), 1)
+}
+
+// Cache benchmarks: the full suite cold (every probe measured by a
+// fresh session) vs warm (every probe restored from a primed session
+// cache). The warm run is the install-time-file re-read the paper's
+// design implies — it should beat the cold run by well over the 5x
+// acceptance bound.
+
+func BenchmarkSuiteColdCacheDunnington(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := servet.NewSession(servet.Dunnington(), servet.WithCache(servet.NewMemoryCache()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := s.Run(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Timings) != 4 {
+			b.Fatalf("timings = %+v", rep.Timings)
+		}
+	}
+}
+
+func BenchmarkSuiteWarmCacheDunnington(b *testing.B) {
+	s, err := servet.NewSession(servet.Dunnington(), servet.WithCache(servet.NewMemoryCache()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := s.Run(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := s.Run(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if p := rep.ProvenanceFor("communication-costs"); p == nil || p.Status != servet.ProvenanceCached {
+			b.Fatal("warm run re-measured the suite")
+		}
+	}
 }
 
 func BenchmarkSuiteParallelDunnington(b *testing.B) {

@@ -1,0 +1,96 @@
+package servet
+
+import (
+	"sync"
+
+	"servet/internal/report"
+)
+
+// Cache stores probe results between sessions, keyed by machine
+// fingerprint. The stored value is a full Report whose Provenance
+// records which probes produced which sections under which options —
+// that is all a Session needs to decide, probe by probe, whether a
+// saved section is still fresh or must be re-measured.
+//
+// Implementations must be safe for concurrent use: Sweep fans many
+// sessions over one cache. Reports returned by Lookup are treated as
+// read-only by sessions; implementations may hand out shared copies.
+type Cache interface {
+	// Lookup returns the saved report for a machine fingerprint, or
+	// ok=false on a miss. A corrupt or unreadable entry is a miss, not
+	// an error: the session then simply measures everything.
+	Lookup(fingerprint string) (r *Report, ok bool)
+	// Store saves the report (which carries the fingerprint, schema and
+	// provenance) as the new cache entry for the fingerprint.
+	Store(fingerprint string, r *Report) error
+}
+
+// MemoryCache is an in-process Cache holding one report per machine
+// fingerprint. The zero value is not usable; call NewMemoryCache.
+type MemoryCache struct {
+	mu sync.RWMutex
+	m  map[string]*Report
+}
+
+// NewMemoryCache returns an empty in-memory cache.
+func NewMemoryCache() *MemoryCache {
+	return &MemoryCache{m: make(map[string]*Report)}
+}
+
+// Lookup implements Cache.
+func (c *MemoryCache) Lookup(fingerprint string) (*Report, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	r, ok := c.m[fingerprint]
+	return r, ok
+}
+
+// Store implements Cache. The report is deep-copied, so later caller
+// mutations do not reach the cache.
+func (c *MemoryCache) Store(fingerprint string, r *Report) error {
+	cp := r.Clone()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[fingerprint] = cp
+	return nil
+}
+
+// FileCache is a Cache backed by one install-time JSON report file —
+// the paper's parameter file doubling as an incremental probe cache.
+// It holds the report of a single machine: Lookup for a different
+// fingerprint is a miss, and Store overwrites the file. Point each
+// machine's session at its own path (or share a MemoryCache) when
+// sweeping several models.
+type FileCache struct {
+	mu   sync.Mutex
+	path string
+}
+
+// NewFileCache returns a cache backed by the report file at path. The
+// file need not exist yet; the first Store creates it.
+func NewFileCache(path string) *FileCache {
+	return &FileCache{path: path}
+}
+
+// Path returns the backing file's path.
+func (c *FileCache) Path() string { return c.path }
+
+// Lookup implements Cache: it reads the file fresh on every call. A
+// missing file, an unreadable or schema-incompatible one, or a report
+// for another machine are all misses.
+func (c *FileCache) Lookup(fingerprint string) (*Report, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, err := report.Load(c.path)
+	if err != nil || r.Fingerprint != fingerprint {
+		return nil, false
+	}
+	return r, true
+}
+
+// Store implements Cache, overwriting the backing file.
+func (c *FileCache) Store(fingerprint string, r *Report) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return r.Save(c.path)
+}

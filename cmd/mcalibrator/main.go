@@ -35,13 +35,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mcalibrator: unknown machine %q\n", *machine)
 		os.Exit(2)
 	}
-	cal, err := servet.Mcalibrator(m, *coreID, servet.Options{
+	ses, err := servet.NewSession(m, servet.WithOptions(servet.Options{
 		Seed: *seed, MinCacheBytes: *minB, MaxCacheBytes: *maxB, StrideBytes: *stride,
-	})
+	}))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mcalibrator: %v\n", err)
 		os.Exit(1)
 	}
+	cal := ses.Mcalibrator(*coreID)
 	g := stats.Gradient(cal.Cycles)
 	fmt.Printf("%12s %14s %10s\n", "size(B)", "cycles/access", "gradient")
 	for i := range cal.Sizes {

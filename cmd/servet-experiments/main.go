@@ -10,9 +10,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"servet/internal/experiments"
@@ -38,17 +40,20 @@ func main() {
 		return
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	opt := experiments.Opt{Seed: *seed, Quick: *quick, Parallelism: *parallel}
 	var results []*experiments.Result
 	if *fig == "all" {
-		all, err := experiments.RunAll(opt)
+		all, err := experiments.RunAllContext(ctx, opt)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "servet-experiments: %v\n", err)
 			os.Exit(1)
 		}
 		results = all
 	} else {
-		res, err := experiments.Run(*fig, opt)
+		res, err := experiments.RunContext(ctx, *fig, opt)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "servet-experiments: %v\n", err)
 			os.Exit(1)

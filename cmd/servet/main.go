@@ -1,19 +1,26 @@
-// Command servet runs the full benchmark suite on a simulated machine
+// Command servet runs the benchmark suite on a simulated machine
 // model and writes the install-time parameter report the paper
 // describes (Section IV-E): a JSON file applications consult to guide
 // their optimizations.
 //
+// With -cache the report file doubles as an incremental probe cache:
+// re-runs restore every probe whose options (and machine) are
+// unchanged and execute only the stale ones.
+//
 // Usage:
 //
 //	servet -machine dunnington -out servet.json
+//	servet -machine dunnington -cache servet.json   # incremental re-runs
 //	servet -machine finisterrae -nodes 2 -seed 3 -noise 0.01
 //	servet -machine dunnington -probes cache-size,tlb -parallel 4
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
 
@@ -25,6 +32,7 @@ func main() {
 		machine    = flag.String("machine", "dunnington", "machine model (see -list)")
 		nodes      = flag.Int("nodes", 2, "cluster nodes for multi-node models")
 		out        = flag.String("out", "", "write the JSON report to this path")
+		cachePath  = flag.String("cache", "", "incremental cache file: restore fresh probes from it and store the merged report back")
 		seed       = flag.Int64("seed", 1, "seed for page placement and noise")
 		noise      = flag.Float64("noise", 0, "relative measurement noise (e.g. 0.02)")
 		quick      = flag.Bool("quick", false, "fewer repetitions (faster, less precise)")
@@ -56,11 +64,16 @@ func main() {
 		os.Exit(2)
 	}
 
-	opt := servet.Options{Seed: *seed, NoiseSigma: *noise, Parallelism: *parallel}
+	opts := []servet.Option{
+		servet.WithSeed(*seed),
+		servet.WithNoise(*noise),
+		servet.WithParallelism(*parallel),
+	}
 	if *quick {
-		opt.CommReps = 2
-		opt.Allocations = 2
-		opt.BWSizes = []int64{4 << 10, 64 << 10, 1 << 20}
+		opts = append(opts, servet.WithQuick())
+	}
+	if *cachePath != "" {
+		opts = append(opts, servet.WithCacheFile(*cachePath))
 	}
 
 	var names []string
@@ -72,12 +85,23 @@ func main() {
 		}
 	}
 
-	rep, err := servet.RunProbes(m, opt, names...)
+	ses, err := servet.NewSession(m, opts...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "servet: %v\n", err)
+		os.Exit(1)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	rep, err := ses.Run(ctx, names...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "servet: %v\n", err)
 		os.Exit(1)
 	}
 	fmt.Print(rep.Summary())
+	if *cachePath != "" {
+		fmt.Printf("\ncache file %s updated (machine fingerprint %s)\n", *cachePath, ses.Fingerprint())
+	}
 	if *out != "" {
 		if err := rep.Save(*out); err != nil {
 			fmt.Fprintf(os.Stderr, "servet: %v\n", err)

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -22,11 +23,15 @@ const (
 
 func main() {
 	m := servet.FinisTerrae(2)
-	rep, err := servet.Run(m, servet.Options{
+	ses, err := servet.NewSession(m, servet.WithOptions(servet.Options{
 		Seed:     1,
 		CommReps: 5,
 		BWSizes:  []int64{1 << 10, 16 << 10, 256 << 10, 1 << 20},
-	})
+	}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := ses.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

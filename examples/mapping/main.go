@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -26,11 +27,15 @@ func main() {
 	// 1. Characterize the communication layers (comm benchmark only
 	// needs the report's comm section; a quick configuration keeps the
 	// demo fast).
-	rep, err := servet.Run(m, servet.Options{
+	ses, err := servet.NewSession(m, servet.WithOptions(servet.Options{
 		Seed:     1,
 		CommReps: 3,
 		BWSizes:  []int64{4 << 10, 64 << 10},
-	})
+	}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := ses.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,11 +16,15 @@ import (
 
 func main() {
 	m := servet.FinisTerrae(1)
-	rep, err := servet.Run(m, servet.Options{
+	ses, err := servet.NewSession(m, servet.WithOptions(servet.Options{
 		Seed:     1,
 		CommReps: 2,
 		BWSizes:  []int64{4 << 10, 64 << 10},
-	})
+	}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := ses.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,9 +1,11 @@
-// Quickstart: run the whole Servet suite on the Dunnington model,
-// print the detected hardware parameters, and save/reload the
-// install-time report file that applications consult at run time.
+// Quickstart: open a session on the Dunnington model, run the whole
+// Servet suite against an install-time cache file, print the detected
+// hardware parameters, and show that a second session restores every
+// probe from the file instead of re-measuring.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -16,33 +18,60 @@ func main() {
 	m := servet.Dunnington()
 	fmt.Printf("probing %s (%d cores at %.2f GHz)...\n\n", m.Name, m.TotalCores(), m.ClockGHz)
 
-	rep, err := servet.Run(m, servet.Options{
-		Seed: 1,
-		// Trim the slowest sweeps a little for a snappy demo; drop
-		// these options for full-fidelity runs.
-		CommReps: 5,
-		BWSizes:  []int64{1 << 10, 16 << 10, 256 << 10, 4 << 20},
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Print(rep.Summary())
-
 	// The paper stores the results in a file written once at install
-	// time; applications load it to guide optimizations.
+	// time; applications load it to guide optimizations. With a
+	// session the same file is also an incremental probe cache.
 	dir, err := os.MkdirTemp("", "servet-quickstart")
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer os.RemoveAll(dir)
 	path := filepath.Join(dir, "servet.json")
-	if err := rep.Save(path); err != nil {
+
+	ctx := context.Background()
+	ses, err := servet.NewSession(m,
+		servet.WithSeed(1),
+		// Trim the slowest sweeps a little for a snappy demo; drop
+		// WithQuick for full-fidelity runs.
+		servet.WithQuick(),
+		servet.WithCacheFile(path),
+	)
+	if err != nil {
 		log.Fatal(err)
 	}
+	rep, err := ses.Run(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(rep.Summary())
+
+	// A later session (say, after a reboot) consults the file and
+	// re-measures nothing: every probe's provenance says "cached".
+	again, err := servet.NewSession(m,
+		servet.WithSeed(1), servet.WithQuick(), servet.WithCacheFile(path))
+	if err != nil {
+		log.Fatal(err)
+	}
+	rerun, err := again.Run(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nre-run against %s:\n", filepath.Base(path))
+	for _, p := range rerun.Provenance {
+		fmt.Printf("  %-20s %s\n", p.Probe, p.Status)
+	}
+
 	back, err := servet.LoadReport(path)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nreport round-tripped through %s: machine %s, %d cache levels, %d comm layers\n",
-		path, back.Machine, len(back.Caches), len(back.Comm.Layers))
+	fmt.Printf("\nreport round-tripped: machine %s (fingerprint %s), %d cache levels, %d comm layers\n",
+		back.Machine, back.Fingerprint, len(back.Caches), len(back.Comm.Layers))
+
+	// Autotuning consumers (Section V of the paper) read the report.
+	tile, err := servet.TileSize(back, 1, 8, 3, 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tile size from L1 for a 3-array stencil: %dx%d float64s\n", tile, tile)
 }

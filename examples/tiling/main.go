@@ -20,10 +20,11 @@ func main() {
 	m := servet.Dempsey()
 
 	// 1. Detect the cache hierarchy (cache-size benchmark only).
-	det, _, err := servet.DetectCaches(m, servet.Options{Seed: 1})
+	ses, err := servet.NewSession(m, servet.WithSeed(1))
 	if err != nil {
 		log.Fatal(err)
 	}
+	det, _ := ses.DetectCaches()
 	rep := &servet.Report{Machine: m.Name}
 	for _, d := range det {
 		rep.Caches = append(rep.Caches, servet.CacheResult{

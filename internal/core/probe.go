@@ -193,6 +193,16 @@ func DefaultProbes() []string {
 	return []string{probeCacheSize, probeShared, probeMemory, probeComm}
 }
 
+// knownNamesLocked snapshots the registered probe names; the caller
+// holds regMu.
+func knownNamesLocked() []string {
+	known := make([]string, len(registry))
+	for i, p := range registry {
+		known[i] = p.Name()
+	}
+	return known
+}
+
 // probeClosure expands names to the requested probes plus their
 // transitive dependencies, in canonical order.
 func probeClosure(names []string) ([]Probe, error) {
@@ -206,11 +216,7 @@ func probeClosure(names []string) ([]Probe, error) {
 		}
 		i, ok := regIndex[name]
 		if !ok {
-			known := make([]string, len(registry))
-			for k, p := range registry {
-				known[k] = p.Name()
-			}
-			return &UnknownProbeError{Name: name, Known: known}
+			return &UnknownProbeError{Name: name, Known: knownNamesLocked()}
 		}
 		want[name] = true
 		for _, d := range registry[i].Deps() {

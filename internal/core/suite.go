@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"servet/internal/memsys"
 	"servet/internal/report"
 	"servet/internal/sched"
 	"servet/internal/topology"
@@ -41,6 +42,28 @@ func (s *Suite) DetectCaches() ([]DetectedCache, Calibration) {
 	return calibrateAndDetect(s.m, s.opt)
 }
 
+// DetectCachesRefined runs the adaptive standalone cache detection:
+// mcalibrator over the standard grid, then refined re-measurement of
+// each smeared transition window (see DetectCaches). It is the
+// algorithm behind the facade's single-benchmark entry point; the
+// in-suite probe uses the plain pipeline of DetectCaches (method on
+// Suite), whose probe-cost accounting Table I pins.
+func (s *Suite) DetectCachesRefined() ([]DetectedCache, Calibration) {
+	return DetectCaches(memsys.NewInstance(s.m, s.opt.Seed), 0, s.opt)
+}
+
+// Mcalibrator runs the raw calibration loop of Fig. 1 on one core of
+// a fresh memory-system instance.
+func (s *Suite) Mcalibrator(coreID int) Calibration {
+	return Mcalibrator(memsys.NewInstance(s.m, s.opt.Seed), coreID, s.opt)
+}
+
+// DetectTLB runs the TLB extension probe on core 0; ok is false when
+// the machine shows no translation-miss transition.
+func (s *Suite) DetectTLB() (DetectedTLB, bool) {
+	return DetectTLB(memsys.NewInstance(s.m, s.opt.Seed), 0, s.opt)
+}
+
 // Run executes the whole suite — the four paper benchmarks of
 // DefaultProbes — recording per-stage wall and simulated-probe times
 // (Table I).
@@ -55,21 +78,56 @@ func (s *Suite) Run() (*report.Report, error) {
 // probe. A probe failure is returned as a *ProbeError; cancelling the
 // context aborts the run.
 func (s *Suite) RunProbes(ctx context.Context, names ...string) (*report.Report, error) {
+	r, _, err := s.RunSeeded(ctx, nil, names...)
+	return r, err
+}
+
+// RunSeeded is RunProbes with precomputed partials: probes named in
+// seeded (typically restored from a cache via Restore) are not
+// executed — their partial goes straight into the environment, where
+// it both satisfies dependents and merges into the report in the
+// usual canonical order. Only the remaining probes are scheduled.
+// executed lists the probes that actually ran, in canonical order;
+// seeded probes keep a Table I timing row with zero wall time.
+func (s *Suite) RunSeeded(ctx context.Context, seeded map[string]Partial, names ...string) (_ *report.Report, executed []string, _ error) {
 	if len(names) == 0 {
 		names = DefaultProbes()
 	}
 	probes, err := probeClosure(names)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	env := newEnv(s.m, s.opt)
-	tasks := make([]sched.Task, len(probes))
-	for i, p := range probes {
+	runs := make(map[string]bool, len(probes))
+	for _, p := range probes {
+		name := p.Name()
+		if part, ok := seeded[name]; ok {
+			env.put(name, part)
+		} else {
+			runs[name] = true
+		}
+	}
+
+	var tasks []sched.Task
+	taskIdx := make(map[string]int, len(runs))
+	for _, p := range probes {
+		if !runs[p.Name()] {
+			continue
+		}
 		p := p
-		tasks[i] = sched.Task{
+		// Seeded dependencies are already satisfied; the scheduler only
+		// needs the edges between probes that actually run.
+		var deps []string
+		for _, d := range p.Deps() {
+			if runs[d] {
+				deps = append(deps, d)
+			}
+		}
+		taskIdx[p.Name()] = len(tasks)
+		tasks = append(tasks, sched.Task{
 			Name: p.Name(),
-			Deps: p.Deps(),
+			Deps: deps,
 			Run: func(ctx context.Context) error {
 				part, err := p.Run(ctx, env)
 				if err != nil {
@@ -78,16 +136,16 @@ func (s *Suite) RunProbes(ctx context.Context, names ...string) (*report.Report,
 				env.put(p.Name(), part)
 				return nil
 			},
-		}
+		})
 	}
 
 	results, err := sched.Run(ctx, tasks, s.opt.Parallelism)
 	if err != nil {
 		var te *sched.TaskError
 		if errors.As(err, &te) {
-			return nil, &ProbeError{Probe: te.Name, Err: te.Err}
+			return nil, nil, &ProbeError{Probe: te.Name, Err: te.Err}
 		}
-		return nil, err
+		return nil, nil, err
 	}
 
 	r := &report.Report{
@@ -96,16 +154,21 @@ func (s *Suite) RunProbes(ctx context.Context, names ...string) (*report.Report,
 		Nodes:        s.m.Nodes,
 		CoresPerNode: s.m.CoresPerNode,
 	}
-	for i, p := range probes {
-		part, _ := env.Output(p.Name())
+	for _, p := range probes {
+		name := p.Name()
+		part, _ := env.Output(name)
 		if part.Apply != nil {
 			part.Apply(r)
 		}
-		r.Timings = append(r.Timings, report.StageTiming{
-			Stage:          p.Name(),
-			Wall:           results[i].Wall,
+		timing := report.StageTiming{
+			Stage:          name,
 			SimulatedProbe: part.SimulatedProbe,
-		})
+		}
+		if runs[name] {
+			timing.Wall = results[taskIdx[name]].Wall
+			executed = append(executed, name)
+		}
+		r.Timings = append(r.Timings, timing)
 	}
-	return r, nil
+	return r, executed, nil
 }

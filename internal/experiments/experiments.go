@@ -97,8 +97,19 @@ func IDs() []string {
 // Title returns the caption of an experiment id (empty if unknown).
 func Title(id string) string { return registry[id].title }
 
-// Run regenerates one experiment.
+// Run regenerates one experiment. It is RunContext with a background
+// context.
 func Run(id string, opt Opt) (*Result, error) {
+	return RunContext(context.Background(), id, opt)
+}
+
+// RunContext regenerates one experiment under a context: cancelling
+// it aborts before the generator starts (generators themselves run to
+// completion, mirroring probe granularity in the suite).
+func RunContext(ctx context.Context, id string, opt Opt) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	gen, ok := registry[id]
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown id %q (have %s)", id, strings.Join(IDs(), ", "))
@@ -119,6 +130,12 @@ func Run(id string, opt Opt) (*Result, error) {
 // results that completed (still in id order) and the error of the
 // failed experiment earliest in id order.
 func RunAll(opt Opt) ([]*Result, error) {
+	return RunAllContext(context.Background(), opt)
+}
+
+// RunAllContext is RunAll under a context: cancelling it stops
+// launching experiments and aborts the fan-out.
+func RunAllContext(ctx context.Context, opt Opt) ([]*Result, error) {
 	ids := IDs()
 	slots := make([]*Result, len(ids))
 	tasks := make([]sched.Task, len(ids))
@@ -127,7 +144,7 @@ func RunAll(opt Opt) ([]*Result, error) {
 		tasks[i] = sched.Task{
 			Name: id,
 			Run: func(ctx context.Context) error {
-				res, err := Run(id, opt)
+				res, err := RunContext(ctx, id, opt)
 				if err != nil {
 					return err
 				}
@@ -136,7 +153,7 @@ func RunAll(opt Opt) ([]*Result, error) {
 			},
 		}
 	}
-	_, err := sched.Run(context.Background(), tasks, opt.Parallelism)
+	_, err := sched.Run(ctx, tasks, opt.Parallelism)
 	var te *sched.TaskError
 	if errors.As(err, &te) {
 		err = te.Err // Run already prefixed the experiment id

@@ -75,8 +75,12 @@ func formatGroups(groups [][]int) string {
 // communication layers and the stage timings.
 func (r *Report) Summary() string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "Servet report for %s (%d node(s) x %d cores, %.2f GHz)\n\n",
+	fmt.Fprintf(&sb, "Servet report for %s (%d node(s) x %d cores, %.2f GHz)\n",
 		r.Machine, r.Nodes, r.CoresPerNode, r.ClockGHz)
+	if r.Fingerprint != "" {
+		fmt.Fprintf(&sb, "machine fingerprint: %s\n", r.Fingerprint)
+	}
+	sb.WriteString("\n")
 
 	sb.WriteString("Cache hierarchy:\n")
 	var cacheRows [][]string
@@ -136,13 +140,25 @@ func (r *Report) Summary() string {
 		sb.WriteString("\nBenchmark execution times (Table I):\n")
 		var rows [][]string
 		for _, tmg := range r.Timings {
-			rows = append(rows, []string{
+			row := []string{
 				tmg.Stage,
 				tmg.Wall.String(),
 				tmg.SimulatedProbe.String(),
-			})
+			}
+			if len(r.Provenance) > 0 {
+				source := "-"
+				if p := r.ProvenanceFor(tmg.Stage); p != nil {
+					source = p.Status
+				}
+				row = append(row, source)
+			}
+			rows = append(rows, row)
 		}
-		sb.WriteString(Table([]string{"benchmark", "wall", "simulated"}, rows))
+		headers := []string{"benchmark", "wall", "simulated"}
+		if len(r.Provenance) > 0 {
+			headers = append(headers, "source")
+		}
+		sb.WriteString(Table(headers, rows))
 	}
 	return sb.String()
 }

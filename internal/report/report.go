@@ -12,10 +12,33 @@ import (
 	"time"
 )
 
+// CurrentSchema is the version of the on-disk report format this
+// package writes. Version 2 introduced the schema field itself, the
+// machine fingerprint and the per-probe provenance records; files
+// from before version 2 carry no schema field and are rejected by
+// Load with a *SchemaError.
+const CurrentSchema = 2
+
+// Provenance statuses of one probe's report section.
+const (
+	// ProvenanceRan marks a section measured by this run.
+	ProvenanceRan = "ran"
+	// ProvenanceCached marks a section restored from a prior run via a
+	// probe-result cache.
+	ProvenanceCached = "cached"
+)
+
 // Report is the full output of a Servet run on one machine.
 type Report struct {
+	// Schema is the on-disk format version (CurrentSchema when written
+	// by this package).
+	Schema int `json:"schema"`
 	// Machine is the model name the suite ran on.
 	Machine string `json:"machine"`
+	// Fingerprint is the stable identity hash of the machine model the
+	// results describe (topology.Machine.Fingerprint). Caches use it to
+	// decide whether this report's results apply to a machine at hand.
+	Fingerprint string `json:"fingerprint,omitempty"`
 	// ClockGHz is the machine's clock rate.
 	ClockGHz float64 `json:"clock_ghz"`
 	// Nodes and CoresPerNode describe the cluster shape.
@@ -33,6 +56,26 @@ type Report struct {
 	// Timings records the execution time of each benchmark stage
 	// (Table I of the paper).
 	Timings []StageTiming `json:"timings"`
+	// Provenance records, per probe of the run, whether its section was
+	// measured or restored from a cache, under which options, and when
+	// it was measured. Entries follow the canonical probe order.
+	Provenance []ProbeProvenance `json:"provenance,omitempty"`
+}
+
+// ProbeProvenance describes where one probe's report section came
+// from.
+type ProbeProvenance struct {
+	// Probe is the probe's registry name ("cache-size", ...).
+	Probe string `json:"probe"`
+	// Status is ProvenanceRan or ProvenanceCached.
+	Status string `json:"status"`
+	// OptionsDigest is the digest of the effective option fields the
+	// probe's measurements depend on; a cache invalidates the section
+	// when the digest no longer matches.
+	OptionsDigest string `json:"options_digest"`
+	// Timestamp is when the section was measured (preserved across
+	// cache restores: a cached section keeps its measurement time).
+	Timestamp time.Time `json:"timestamp"`
 }
 
 // CacheResult describes one detected cache level.
@@ -157,6 +200,32 @@ type StageTiming struct {
 	SimulatedProbe time.Duration `json:"simulated_probe_ns"`
 }
 
+// ProvenanceFor returns the provenance record of the named probe, or
+// nil when the report carries none for it.
+func (r *Report) ProvenanceFor(probe string) *ProbeProvenance {
+	for i := range r.Provenance {
+		if r.Provenance[i].Probe == probe {
+			return &r.Provenance[i]
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the report (via its JSON form, which
+// covers every field the file format persists).
+func (r *Report) Clone() *Report {
+	data, err := json.Marshal(r)
+	if err != nil {
+		// Report contains only plain data types; Marshal cannot fail.
+		panic(fmt.Sprintf("report: clone: %v", err))
+	}
+	var cp Report
+	if err := json.Unmarshal(data, &cp); err != nil {
+		panic(fmt.Sprintf("report: clone: %v", err))
+	}
+	return &cp
+}
+
 // CacheLevel returns the result for cache level n, or nil.
 func (r *Report) CacheLevel(n int) *CacheResult {
 	for i := range r.Caches {
@@ -167,10 +236,31 @@ func (r *Report) CacheLevel(n int) *CacheResult {
 	return nil
 }
 
+// SchemaError reports a file whose schema version this package does
+// not understand: a version newer than CurrentSchema, or a missing
+// version (files from before the schema field). Loading such a file
+// as a zero-filled current-schema report would silently drop or
+// invent fields, so Load refuses instead.
+type SchemaError struct {
+	// Path is the file that was rejected.
+	Path string
+	// Schema is the version found; 0 means the field was missing.
+	Schema int
+}
+
+func (e *SchemaError) Error() string {
+	if e.Schema == 0 {
+		return fmt.Sprintf("report: %s: missing schema version (pre-v%d file; re-run the suite to regenerate it)", e.Path, CurrentSchema)
+	}
+	return fmt.Sprintf("report: %s: unknown schema version %d (this build understands v%d)", e.Path, e.Schema, CurrentSchema)
+}
+
 // Save writes the report as indented JSON, the install-time file the
-// paper describes.
+// paper describes, stamping the current schema version.
 func (r *Report) Save(path string) error {
-	data, err := json.MarshalIndent(r, "", "  ")
+	cp := *r
+	cp.Schema = CurrentSchema
+	data, err := json.MarshalIndent(&cp, "", "  ")
 	if err != nil {
 		return fmt.Errorf("report: marshal: %w", err)
 	}
@@ -181,7 +271,8 @@ func (r *Report) Save(path string) error {
 	return nil
 }
 
-// Load reads a report previously written by Save.
+// Load reads a report previously written by Save. Files with a
+// missing or unknown schema version are rejected with a *SchemaError.
 func Load(path string) (*Report, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -190,6 +281,9 @@ func Load(path string) (*Report, error) {
 	var r Report
 	if err := json.Unmarshal(data, &r); err != nil {
 		return nil, fmt.Errorf("report: parse %s: %w", path, err)
+	}
+	if r.Schema != CurrentSchema {
+		return nil, &SchemaError{Path: path, Schema: r.Schema}
 	}
 	return &r, nil
 }

@@ -1,6 +1,7 @@
 package report
 
 import (
+	"errors"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -34,8 +35,14 @@ func sampleReport() *Report {
 				Scalability:    []CommScalPoint{{Messages: 1, MeanCompletionUS: 11.6, Slowdown: 1}},
 			}},
 		},
+		TLB: &TLBResult{Entries: 64, MissCycles: 30},
 		Timings: []StageTiming{
 			{Stage: "cache-size", Wall: time.Second, SimulatedProbe: 2 * time.Second},
+		},
+		Fingerprint: "sha256:0011223344556677",
+		Provenance: []ProbeProvenance{
+			{Probe: "cache-size", Status: ProvenanceCached, OptionsDigest: "abcd",
+				Timestamp: time.Date(2026, 7, 1, 12, 0, 0, 0, time.UTC)},
 		},
 	}
 }
@@ -61,6 +68,68 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	}
 	if got.Timings[0].SimulatedProbe != 2*time.Second {
 		t.Errorf("timings mismatch: %+v", got.Timings)
+	}
+	if got.Schema != CurrentSchema {
+		t.Errorf("schema = %d, want %d", got.Schema, CurrentSchema)
+	}
+	if got.TLB == nil || got.TLB.Entries != 64 || got.TLB.MissCycles != 30 {
+		t.Errorf("tlb mismatch: %+v", got.TLB)
+	}
+	if got.Fingerprint != r.Fingerprint {
+		t.Errorf("fingerprint = %q, want %q", got.Fingerprint, r.Fingerprint)
+	}
+	p := got.ProvenanceFor("cache-size")
+	if p == nil || p.Status != ProvenanceCached || p.OptionsDigest != "abcd" ||
+		!p.Timestamp.Equal(r.Provenance[0].Timestamp) {
+		t.Errorf("provenance mismatch: %+v", p)
+	}
+	if got.ProvenanceFor("no-such-probe") != nil {
+		t.Error("phantom provenance entry")
+	}
+}
+
+func TestLoadRejectsMissingSchema(t *testing.T) {
+	// A pre-v2 file: valid JSON, no schema field.
+	path := filepath.Join(t.TempDir(), "old.json")
+	if err := writeFile(path, `{"machine": "dempsey", "clock_ghz": 3.2}`); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Load(path)
+	var se *SchemaError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want *SchemaError", err)
+	}
+	if se.Schema != 0 || se.Path != path {
+		t.Errorf("SchemaError = %+v", se)
+	}
+	if !strings.Contains(se.Error(), "missing schema") {
+		t.Errorf("message: %s", se.Error())
+	}
+}
+
+func TestLoadRejectsUnknownSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "future.json")
+	if err := writeFile(path, `{"schema": 99, "machine": "dempsey"}`); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Load(path)
+	var se *SchemaError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want *SchemaError", err)
+	}
+	if se.Schema != 99 {
+		t.Errorf("SchemaError.Schema = %d", se.Schema)
+	}
+}
+
+func TestClone(t *testing.T) {
+	r := sampleReport()
+	cp := r.Clone()
+	cp.Caches[0].SizeBytes = 1
+	cp.Provenance[0].Status = ProvenanceRan
+	cp.TLB.Entries = 1
+	if r.Caches[0].SizeBytes == 1 || r.Provenance[0].Status == ProvenanceRan || r.TLB.Entries == 1 {
+		t.Error("Clone shares memory with the original")
 	}
 }
 

@@ -2,6 +2,11 @@ package report
 
 import "os"
 
+// writeFile writes text to a fresh file (test helper).
+func writeFile(path, text string) error {
+	return os.WriteFile(path, []byte(text), 0o644)
+}
+
 // writeFileAppend appends text to an existing file (test helper).
 func writeFileAppend(path, text string) error {
 	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)

@@ -1,0 +1,35 @@
+package topology
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// fingerprintVersion salts the fingerprint so that a change to the
+// canonical serialization (new Machine fields, renamed fields) yields
+// new fingerprints instead of silently colliding with old ones.
+const fingerprintVersion = "servet-machine-v1"
+
+// Fingerprint returns a stable identity hash of the machine model:
+// two Machine values describing the same hardware produce the same
+// fingerprint, and any change to the description (a cache size, a
+// sharing group, the node count, ...) produces a different one. It is
+// the key probe-result caches and install-time report files use to
+// decide whether saved results still describe the machine at hand.
+//
+// The hash covers the full exported description via a canonical JSON
+// serialization, so it is stable across processes and platforms.
+func (m *Machine) Fingerprint() string {
+	data, err := json.Marshal(m)
+	if err != nil {
+		// Machine contains only plain data types; Marshal cannot fail.
+		panic(fmt.Sprintf("topology: fingerprint %s: %v", m.Name, err))
+	}
+	h := sha256.New()
+	h.Write([]byte(fingerprintVersion))
+	h.Write([]byte{0})
+	h.Write(data)
+	return "sha256:" + hex.EncodeToString(h.Sum(nil)[:12])
+}

@@ -21,10 +21,15 @@
 // Typical use:
 //
 //	m := servet.Dunnington()
-//	rep, err := servet.Run(m, servet.Options{})
+//	s, err := servet.NewSession(m, servet.WithCacheFile("servet.json"))
 //	...
-//	rep.Save("servet.json") // install-time file, consulted by apps
+//	rep, err := s.Run(ctx) // re-runs execute only stale probes
 //	tile, _ := servet.TileSize(rep, 1, 8, 3, 0.5)
+//
+// The session's cache file is the paper's install-time parameter
+// file: written once, consulted by applications, and — because every
+// report carries the machine fingerprint and per-probe provenance —
+// reusable as an incremental cache on later runs.
 package servet
 
 import (
@@ -51,7 +56,27 @@ type Options = core.Options
 
 // Report is the suite's output: the install-time parameter file the
 // paper describes, with JSON Save/Load and a human-readable Summary.
+// Reports carry a schema version, the machine fingerprint, and
+// per-probe provenance records, so a saved report doubles as an
+// incremental probe cache (see Session and FileCache).
 type Report = report.Report
+
+// ProbeProvenance records where one probe's report section came from
+// (measured this run or restored from a cache), under which options
+// digest, and when it was measured.
+type ProbeProvenance = report.ProbeProvenance
+
+// Provenance statuses.
+const (
+	// ProvenanceRan marks a report section measured by its run.
+	ProvenanceRan = report.ProvenanceRan
+	// ProvenanceCached marks a section restored from a probe cache.
+	ProvenanceCached = report.ProvenanceCached
+)
+
+// SchemaError is returned by LoadReport for files with a missing or
+// unknown schema version.
+type SchemaError = report.SchemaError
 
 // Result component types of a Report.
 type (
@@ -103,29 +128,35 @@ var (
 
 // Run executes the full suite (cache sizes, shared caches, memory
 // overhead, communication costs) on the machine and returns the
-// report. It is RunProbes with the default probe set.
+// report.
+//
+// Deprecated: use NewSession(m, WithOptions(opt)) and Session.Run,
+// which adds context control and incremental probe caching. Run is a
+// thin shim over a cache-less session and produces the identical
+// report.
 func Run(m *Machine, opt Options) (*Report, error) {
 	return RunProbes(m, opt)
 }
 
 // RunProbes executes only the named probes, plus their transitive
 // dependencies (e.g. "communication-costs" pulls in "cache-size" for
-// the message size). No names means the full default suite. Probes
-// with satisfied dependencies run concurrently up to
-// Options.Parallelism; the merged report is identical at any
-// parallelism. See ProbeNames for the registry.
+// the message size). No names means the full default suite.
+//
+// Deprecated: use NewSession and Session.Run(ctx, names...).
 func RunProbes(m *Machine, opt Options, names ...string) (*Report, error) {
 	return RunProbesContext(context.Background(), m, opt, names...)
 }
 
 // RunProbesContext is RunProbes with a context: cancelling it aborts
 // the run between probes.
+//
+// Deprecated: use NewSession and Session.Run(ctx, names...).
 func RunProbesContext(ctx context.Context, m *Machine, opt Options, names ...string) (*Report, error) {
-	s, err := core.NewSuite(m, opt)
+	s, err := NewSession(m, WithOptions(opt))
 	if err != nil {
 		return nil, err
 	}
-	return s.RunProbes(ctx, names...)
+	return s.Run(ctx, names...)
 }
 
 // Probe registry introspection and engine error types.
@@ -148,25 +179,27 @@ type (
 // DetectCaches runs only the cache-size benchmark (mcalibrator plus
 // the Fig. 4 detection driver) and returns the detected levels along
 // with the raw calibration curve.
+//
+// Deprecated: use NewSession and Session.DetectCaches.
 func DetectCaches(m *Machine, opt Options) ([]DetectedCache, Calibration, error) {
-	if err := m.Validate(); err != nil {
+	s, err := NewSession(m, WithOptions(opt))
+	if err != nil {
 		return nil, Calibration{}, err
 	}
-	opt = fillSeed(opt)
-	in := memsys.NewInstance(m, opt.Seed)
-	det, cal := core.DetectCaches(in, 0, opt)
+	det, cal := s.DetectCaches()
 	return det, cal, nil
 }
 
 // Mcalibrator runs only the raw calibration loop of Fig. 1 on one core
 // and returns sizes and cycles per access.
+//
+// Deprecated: use NewSession and Session.Mcalibrator.
 func Mcalibrator(m *Machine, coreID int, opt Options) (Calibration, error) {
-	if err := m.Validate(); err != nil {
+	s, err := NewSession(m, WithOptions(opt))
+	if err != nil {
 		return Calibration{}, err
 	}
-	opt = fillSeed(opt)
-	in := memsys.NewInstance(m, opt.Seed)
-	return core.Mcalibrator(in, coreID, opt), nil
+	return s.Mcalibrator(coreID), nil
 }
 
 // LoadReport reads a report saved by Report.Save.
@@ -179,13 +212,14 @@ type DetectedTLB = core.DetectedTLB
 // suite, in the Saavedra & Smith lineage of mcalibrator): it returns
 // the detected entry count and miss penalty, with ok=false when the
 // machine shows no translation-miss transition.
+//
+// Deprecated: use NewSession and Session.DetectTLB.
 func DetectTLB(m *Machine, opt Options) (DetectedTLB, bool, error) {
-	if err := m.Validate(); err != nil {
+	s, err := NewSession(m, WithOptions(opt))
+	if err != nil {
 		return DetectedTLB{}, false, err
 	}
-	opt = fillSeed(opt)
-	in := memsys.NewInstance(m, opt.Seed)
-	res, ok := core.DetectTLB(in, 0, opt)
+	res, ok := s.DetectTLB()
 	return res, ok, nil
 }
 
@@ -269,10 +303,3 @@ func (ms *MemorySimulator) Access(core int, addr int64) float64 {
 
 // Reset empties the caches (page mappings persist).
 func (ms *MemorySimulator) Reset() { ms.in.ResetCaches() }
-
-func fillSeed(opt Options) Options {
-	if opt.Seed == 0 {
-		opt.Seed = 1
-	}
-	return opt
-}

@@ -1,0 +1,94 @@
+package servet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"servet/internal/sched"
+)
+
+// SweepError reports the failure of one machine's session inside a
+// Sweep; Unwrap yields the session's own error (e.g. a *ProbeError).
+type SweepError struct {
+	// Machine is the failing machine's model name.
+	Machine string
+	// Err is the session's error.
+	Err error
+}
+
+func (e *SweepError) Error() string { return fmt.Sprintf("sweep %s: %v", e.Machine, e.Err) }
+func (e *SweepError) Unwrap() error { return e.Err }
+
+// Sweep runs one session per machine and returns their reports in
+// machine order — the cluster-wide aggregate the install-time files
+// of a heterogeneous cluster are built from. Sessions fan out over
+// the same scheduler that runs probes: WithParallelism bounds how
+// many machines are probed concurrently, defaulting to all of them
+// (each machine's own probes stay sequential unless the option says
+// otherwise).
+//
+// The options apply to every session, so WithCache shares one cache
+// across the sweep — safe, because entries are keyed by machine
+// fingerprint. Do not use WithCacheFile here unless all machines are
+// the same model: a FileCache holds a single machine's report.
+//
+// On the first failing session the sweep stops launching machines,
+// and the error is a *SweepError naming the machine.
+func Sweep(ctx context.Context, machines []*Machine, opts ...Option) ([]*Report, error) {
+	if len(machines) == 0 {
+		return nil, nil
+	}
+
+	// The sweep's fan-out width comes from the raw (not default-filled)
+	// options: an unset parallelism means "all machines at once" here,
+	// while inside each session it keeps meaning "sequential probes".
+	var cfg sessionConfig
+	cfg.apply(opts)
+	fanout := cfg.opt.Parallelism
+	if fanout < 1 {
+		fanout = len(machines)
+	}
+
+	sessions := make([]*Session, len(machines))
+	for i, m := range machines {
+		s, err := NewSession(m, opts...)
+		if err != nil {
+			return nil, &SweepError{Machine: m.Name, Err: err}
+		}
+		sessions[i] = s
+	}
+
+	reports := make([]*Report, len(machines))
+	tasks := make([]sched.Task, len(machines))
+	for i := range sessions {
+		i := i
+		tasks[i] = sched.Task{
+			// Machine names may repeat in a sweep (same model, different
+			// seeds); the index keeps task names unique.
+			Name: fmt.Sprintf("%d:%s", i, machines[i].Name),
+			Run: func(ctx context.Context) error {
+				rep, err := sessions[i].Run(ctx)
+				if err != nil {
+					return err
+				}
+				reports[i] = rep
+				return nil
+			},
+		}
+	}
+
+	if _, err := sched.Run(ctx, tasks, fanout); err != nil {
+		var te *sched.TaskError
+		if errors.As(err, &te) {
+			for i := range tasks {
+				if tasks[i].Name == te.Name {
+					return nil, &SweepError{Machine: machines[i].Name, Err: te.Err}
+				}
+			}
+			return nil, &SweepError{Machine: te.Name, Err: te.Err}
+		}
+		return nil, err
+	}
+	return reports, nil
+}
