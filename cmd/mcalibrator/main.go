@@ -1,18 +1,22 @@
 // Command mcalibrator runs the raw calibration loop of Fig. 1 of the
-// paper on one core of a simulated machine and prints the traversed
-// sizes, the average cycles per access and the gradient series used by
-// the cache-level detector.
+// paper on one or more cores of a simulated machine and prints, per
+// core, the traversed sizes, the average cycles per access and the
+// gradient series used by the cache-level detector.
 //
 // Usage:
 //
 //	mcalibrator -machine dempsey
 //	mcalibrator -machine dunnington -min 4096 -max 33554432 -stride 1024
+//	mcalibrator -machine dunnington -cores all -parallel 8
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"servet"
 	"servet/internal/stats"
@@ -20,13 +24,15 @@ import (
 
 func main() {
 	var (
-		machine = flag.String("machine", "dempsey", "machine model")
-		nodes   = flag.Int("nodes", 1, "cluster nodes for multi-node models")
-		coreID  = flag.Int("core", 0, "node-local core to probe")
-		minB    = flag.Int64("min", 0, "smallest array (bytes, 0 = default)")
-		maxB    = flag.Int64("max", 0, "largest array (bytes, 0 = default)")
-		stride  = flag.Int64("stride", 0, "probe stride (bytes, 0 = 1KB)")
-		seed    = flag.Int64("seed", 1, "page placement seed")
+		machine  = flag.String("machine", "dempsey", "machine model")
+		nodes    = flag.Int("nodes", 1, "cluster nodes for multi-node models")
+		coreID   = flag.Int("core", 0, "node-local core to probe")
+		cores    = flag.String("cores", "", "calibrate several node-local cores: a comma-separated list, or 'all' (overrides -core)")
+		parallel = flag.Int("parallel", 1, "how many per-core calibrations run concurrently (-cores fan-out; results are identical at any value)")
+		minB     = flag.Int64("min", 0, "smallest array (bytes, 0 = default)")
+		maxB     = flag.Int64("max", 0, "largest array (bytes, 0 = default)")
+		stride   = flag.Int64("stride", 0, "probe stride (bytes, 0 = 1KB)")
+		seed     = flag.Int64("seed", 1, "page placement seed")
 	)
 	flag.Parse()
 
@@ -35,14 +41,69 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mcalibrator: unknown machine %q\n", *machine)
 		os.Exit(2)
 	}
-	ses, err := servet.NewSession(m, servet.WithOptions(servet.Options{
-		Seed: *seed, MinCacheBytes: *minB, MaxCacheBytes: *maxB, StrideBytes: *stride,
-	}))
+	ses, err := servet.NewSession(m,
+		servet.WithOptions(servet.Options{
+			Seed: *seed, MinCacheBytes: *minB, MaxCacheBytes: *maxB, StrideBytes: *stride,
+		}),
+		servet.WithParallelism(*parallel),
+	)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mcalibrator: %v\n", err)
 		os.Exit(1)
 	}
-	cal := ses.Mcalibrator(*coreID)
+
+	ids, err := parseCores(*cores, m.CoresPerNode, *coreID)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mcalibrator: %v\n", err)
+		os.Exit(2)
+	}
+	cals, err := ses.CalibrateCores(context.Background(), ids...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mcalibrator: %v\n", err)
+		os.Exit(1)
+	}
+	for i, cal := range cals {
+		if len(cals) > 1 {
+			if i > 0 {
+				fmt.Println()
+			}
+			fmt.Printf("core %d\n", ids[i])
+		}
+		printCalibration(cal)
+	}
+}
+
+// parseCores resolves the -cores/-core flags into node-local core ids.
+func parseCores(spec string, coresPerNode, single int) ([]int, error) {
+	if spec == "" {
+		return []int{single}, nil
+	}
+	if spec == "all" {
+		ids := make([]int, coresPerNode)
+		for i := range ids {
+			ids[i] = i
+		}
+		return ids, nil
+	}
+	var ids []int
+	for _, f := range strings.Split(spec, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		id, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, fmt.Errorf("bad -cores entry %q", f)
+		}
+		ids = append(ids, id)
+	}
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("-cores %q names no cores", spec)
+	}
+	return ids, nil
+}
+
+func printCalibration(cal servet.Calibration) {
 	g := stats.Gradient(cal.Cycles)
 	fmt.Printf("%12s %14s %10s\n", "size(B)", "cycles/access", "gradient")
 	for i := range cal.Sizes {

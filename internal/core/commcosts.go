@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"servet/internal/mpisim"
 	"servet/internal/report"
+	"servet/internal/sched"
 	"servet/internal/stats"
 	"servet/internal/topology"
 )
@@ -24,9 +26,28 @@ import (
 //
 // The returned float64 is the virtual time (ns) the probes consumed on
 // the simulated cluster.
+//
+// CommunicationCosts is CommunicationCostsContext with a background
+// context; both shard their measurements across Options.Parallelism
+// workers and produce byte-identical results at any parallelism.
 func CommunicationCosts(m *topology.Machine, messageBytes int64, opt Options) (report.CommResult, float64, error) {
+	return CommunicationCostsContext(context.Background(), m, messageBytes, opt)
+}
+
+// CommunicationCostsContext is the context-aware CommunicationCosts:
+// cancelling the context aborts the sweep between measurements.
+//
+// The O(n²) pair sweep is split into index-ordered chunks fanned out
+// over the engine's scheduler, and the per-layer bandwidth and
+// scalability micro-benchmarks run as one task per layer. Workers
+// only record raw latencies into disjoint index ranges; probe-cost
+// accounting, noise perturbation and layer clustering all happen in a
+// sequential merge over the measurements in pair order, and noise is
+// drawn statelessly per measurement (perturbAt), so the result —
+// including the simulated probe time, a float sum sensitive to
+// addition order — is byte-identical at any Options.Parallelism.
+func CommunicationCostsContext(ctx context.Context, m *topology.Machine, messageBytes int64, opt Options) (report.CommResult, float64, error) {
 	opt = opt.withDefaults(m)
-	noise := newNoiser(opt.Seed+307, opt.NoiseSigma)
 	if messageBytes <= 0 {
 		return report.CommResult{}, 0, fmt.Errorf("core: message size must be positive")
 	}
@@ -37,6 +58,54 @@ func CommunicationCosts(m *topology.Machine, messageBytes int64, opt Options) (r
 	if len(layerSizes) == 0 {
 		layerSizes = []int64{messageBytes}
 	}
+
+	// Every cluster core pair, in the canonical (a, b) order the layer
+	// clustering below consumes.
+	total := m.TotalCores()
+	pairs := make([][2]int, 0, total*(total-1)/2)
+	for a := 0; a < total; a++ {
+		for b := a + 1; b < total; b++ {
+			pairs = append(pairs, [2]int{a, b})
+		}
+	}
+
+	// Phase 1: the pair sweep, sharded into index-ordered chunks. Each
+	// ping-pong builds its own simulation world and only reads the
+	// machine, so chunks are independent; workers store raw latencies
+	// into their disjoint slice ranges.
+	rawLats := make([][]float64, len(pairs))
+	var sweepTasks []sched.Task
+	for ci, r := range chunkRanges(len(pairs), opt.Parallelism) {
+		start, end := r[0], r[1]
+		sweepTasks = append(sweepTasks, sched.Task{
+			Name: fmt.Sprintf("pairs:%d", ci),
+			Run: func(ctx context.Context) error {
+				for i := start; i < end; i++ {
+					if err := ctx.Err(); err != nil {
+						return err
+					}
+					a, b := pairs[i][0], pairs[i][1]
+					vec := make([]float64, len(layerSizes))
+					for si, size := range layerSizes {
+						l, err := mpisim.PingPongOneWayNS(m, a, b, size, opt.CommReps)
+						if err != nil {
+							return fmt.Errorf("core: ping-pong %d<->%d: %w", a, b, err)
+						}
+						vec[si] = l
+					}
+					rawLats[i] = vec
+				}
+				return nil
+			},
+		})
+	}
+	if err := runShards(ctx, sweepTasks, opt.Parallelism); err != nil {
+		return res, probeNS, err
+	}
+
+	// Merge in pair order: account probe costs, perturb, and cluster
+	// pairs into layers (first-match within SimilarTol across every
+	// layer size).
 	similarVec := func(a, b []float64) bool {
 		for i := range a {
 			if !stats.Similar(a[i], b[i], opt.SimilarTol) {
@@ -45,84 +114,132 @@ func CommunicationCosts(m *topology.Machine, messageBytes int64, opt Options) (r
 		}
 		return true
 	}
-
-	total := m.TotalCores()
 	var lats [][]float64 // latency vector per layer, one entry per layer size
 	var pairsPerLayer [][][2]int
-	for a := 0; a < total; a++ {
-		for b := a + 1; b < total; b++ {
-			vec := make([]float64, len(layerSizes))
-			for si, size := range layerSizes {
-				l, err := mpisim.PingPongOneWayNS(m, a, b, size, opt.CommReps)
-				if err != nil {
-					return res, probeNS, fmt.Errorf("core: ping-pong %d<->%d: %w", a, b, err)
-				}
-				probeNS += l * float64(2*(opt.CommReps+1))
-				vec[si] = noise.perturb(l)
+	for i, raw := range rawLats {
+		vec := make([]float64, len(raw))
+		for si, l := range raw {
+			probeNS += l * float64(2*(opt.CommReps+1))
+			vec[si] = perturbAt(l, opt.NoiseSigma, opt.Seed, noiseComm, commNoiseLatency, int64(i), int64(si))
+		}
+		placed := false
+		for li, rep := range lats {
+			if similarVec(vec, rep) {
+				pairsPerLayer[li] = append(pairsPerLayer[li], pairs[i])
+				placed = true
+				break
 			}
-			placed := false
-			for i, rep := range lats {
-				if similarVec(vec, rep) {
-					pairsPerLayer[i] = append(pairsPerLayer[i], [2]int{a, b})
-					placed = true
-					break
-				}
-			}
-			if !placed {
-				lats = append(lats, vec)
-				pairsPerLayer = append(pairsPerLayer, [][2]int{{a, b}})
-			}
+		}
+		if !placed {
+			lats = append(lats, vec)
+			pairsPerLayer = append(pairsPerLayer, [][2]int{pairs[i]})
 		}
 	}
 
+	// Phase 2: per-layer micro-benchmarks, one bandwidth task and one
+	// scalability task per layer. The matchings are deterministic
+	// functions of the (already fixed) layer pair lists.
+	matchings := make([][][2]int, len(lats))
+	counts := make([][]int, len(lats))
+	for i, pp := range pairsPerLayer {
+		matchings[i] = stats.GreedyMatching(pp)
+		counts[i] = scalCounts(len(matchings[i]))
+	}
+	rawBW := make([][]float64, len(lats))
+	rawScal := make([][]float64, len(lats))
+	var layerTasks []sched.Task
+	for i := range lats {
+		i := i
+		rep := pairsPerLayer[i][0]
+		rawBW[i] = make([]float64, len(opt.BWSizes))
+		rawScal[i] = make([]float64, len(counts[i]))
+		layerTasks = append(layerTasks, sched.Task{
+			Name: fmt.Sprintf("bw:%d", i),
+			Run: func(ctx context.Context) error {
+				for j, size := range opt.BWSizes {
+					if err := ctx.Err(); err != nil {
+						return err
+					}
+					oneWay, err := mpisim.PingPongOneWayNS(m, rep[0], rep[1], size, opt.CommReps)
+					if err != nil {
+						return fmt.Errorf("core: bandwidth sweep %v: %w", rep, err)
+					}
+					rawBW[i][j] = oneWay
+				}
+				return nil
+			},
+		})
+		layerTasks = append(layerTasks, sched.Task{
+			Name: fmt.Sprintf("scal:%d", i),
+			Run: func(ctx context.Context) error {
+				name := mpisim.ChannelNameBetween(m, rep[0], rep[1])
+				for k, n := range counts[i] {
+					if err := ctx.Err(); err != nil {
+						return err
+					}
+					mean, err := mpisim.ConcurrentMeanCompletionNS(m, matchings[i][:n], messageBytes)
+					if err != nil {
+						return fmt.Errorf("core: scalability %s n=%d: %w", name, n, err)
+					}
+					rawScal[i][k] = mean
+				}
+				return nil
+			},
+		})
+	}
+	if err := runShards(ctx, layerTasks, opt.Parallelism); err != nil {
+		return res, probeNS, err
+	}
+
+	// Merge in layer order, accounting and perturbing each layer's
+	// bandwidth points before its scalability points — the accumulation
+	// order of the original sequential sweep.
 	for i, latVec := range lats {
-		lat := latVec[0]
-		pairs := pairsPerLayer[i]
-		rep := pairs[0]
+		pp := pairsPerLayer[i]
+		rep := pp[0]
 		layer := report.CommLayer{
 			Name:           mpisim.ChannelNameBetween(m, rep[0], rep[1]),
-			LatencyUS:      lat / 1000,
-			Pairs:          pairs,
+			LatencyUS:      latVec[0] / 1000,
+			Pairs:          pp,
 			Representative: rep,
 		}
-
-		// Point-to-point bandwidth sweep on the representative pair.
-		for _, size := range opt.BWSizes {
-			oneWay, err := mpisim.PingPongOneWayNS(m, rep[0], rep[1], size, opt.CommReps)
-			if err != nil {
-				return res, probeNS, fmt.Errorf("core: bandwidth sweep %v: %w", rep, err)
-			}
+		for j, size := range opt.BWSizes {
+			oneWay := rawBW[i][j]
 			probeNS += oneWay * float64(2*(opt.CommReps+1))
-			oneWay = noise.perturb(oneWay)
+			oneWay = perturbAt(oneWay, opt.NoiseSigma, opt.Seed, noiseComm, commNoiseBandwidth, int64(i), int64(j))
 			layer.Bandwidth = append(layer.Bandwidth, report.BWPoint{
 				Bytes:    size,
 				OneWayUS: oneWay / 1000,
 				GBs:      float64(size) / oneWay,
 			})
 		}
-
-		// Scalability over a maximal matching of the layer's pairs.
-		matching := stats.GreedyMatching(pairs)
 		var single float64
-		for _, n := range scalCounts(len(matching)) {
-			mean, err := mpisim.ConcurrentMeanCompletionNS(m, matching[:n], messageBytes)
-			if err != nil {
-				return res, probeNS, fmt.Errorf("core: scalability %s n=%d: %w", layer.Name, n, err)
-			}
+		for k, n := range counts[i] {
+			mean := rawScal[i][k]
 			probeNS += mean * float64(n)
-			mean = noise.perturb(mean)
+			mean = perturbAt(mean, opt.NoiseSigma, opt.Seed, noiseComm, commNoiseScalability, int64(i), int64(k))
 			if n == 1 {
 				single = mean
 			}
 			layer.Scalability = append(layer.Scalability, report.CommScalPoint{
 				Messages:         n,
 				MeanCompletionUS: mean / 1000,
-				Slowdown:         mean / single,
+				Slowdown:         slowdownVs(mean, single),
 			})
 		}
 		res.Layers = append(res.Layers, layer)
 	}
 	return res, probeNS, nil
+}
+
+// slowdownVs returns mean relative to the single-message baseline,
+// guarding the division: a degenerate layer with a zero or unset
+// baseline reports 0 instead of emitting NaN/Inf into the JSON report.
+func slowdownVs(mean, single float64) float64 {
+	if single <= 0 {
+		return 0
+	}
+	return mean / single
 }
 
 // scalCounts picks the concurrency levels of the scalability sweep:

@@ -1,6 +1,10 @@
 package core
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
+	"runtime"
 	"testing"
 
 	"servet/internal/mpisim"
@@ -163,9 +167,11 @@ func TestScalCounts(t *testing.T) {
 		max  int
 		want []int
 	}{
+		{0, nil}, // empty matching: no scalability points at all
 		{1, []int{1}},
 		{2, []int{1, 2}},
 		{3, []int{1, 2, 3}},
+		{4, []int{1, 2, 4}},
 		{8, []int{1, 2, 4, 8}},
 		{12, []int{1, 2, 4, 8, 12}},
 	}
@@ -180,6 +186,139 @@ func TestScalCounts(t *testing.T) {
 				t.Errorf("scalCounts(%d) = %v, want %v", c.max, got, c.want)
 				break
 			}
+		}
+	}
+}
+
+// TestSlowdownGuard: a degenerate layer whose single-message baseline
+// is zero (or was never set) must not emit NaN/Inf into the report.
+func TestSlowdownGuard(t *testing.T) {
+	if got := slowdownVs(5, 0); got != 0 {
+		t.Errorf("zero baseline: slowdown = %g, want 0", got)
+	}
+	if got := slowdownVs(0, 0); got != 0 {
+		t.Errorf("all-zero point: slowdown = %g, want 0", got)
+	}
+	if got := slowdownVs(6, 3); got != 2 {
+		t.Errorf("slowdown = %g, want 2", got)
+	}
+}
+
+// TestCommCostsShardedGolden is the tentpole's golden test: the pair
+// sweep and per-layer micro-benchmarks, sharded across workers, must
+// produce a byte-identical result (including the order-sensitive
+// simulated probe time) at parallelism 1, 2 and NumCPU on every
+// machine model — with measurement noise enabled, which is exactly
+// what a shared sequential RNG would break.
+func TestCommCostsShardedGolden(t *testing.T) {
+	models := topology.Models(2)
+	for name, m := range models {
+		name, m := name, m
+		t.Run(name, func(t *testing.T) {
+			if testing.Short() && (name == "dunnington" || name == "finisterrae") {
+				t.Skip("large pair sweep")
+			}
+			opt := fastComm()
+			opt.NoiseSigma = 0.02
+			run := func(parallelism int) string {
+				opt.Parallelism = parallelism
+				res, probeNS, err := CommunicationCosts(m, 16*topology.KB, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				data, err := json.Marshal(struct {
+					Res     interface{}
+					ProbeNS float64
+				}{res, probeNS})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return string(data)
+			}
+			seq := run(1)
+			for _, p := range []int{2, runtime.NumCPU()} {
+				if par := run(p); par != seq {
+					t.Errorf("parallelism %d diverges from sequential:\nseq: %s\npar: %s", p, seq, par)
+				}
+			}
+		})
+	}
+}
+
+// TestCommCostsCancelledContext: cancelling the context aborts the
+// sharded sweep with context.Canceled.
+func TestCommCostsCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := CommunicationCostsContext(ctx, topology.SMTQuad(), 32*topology.KB, fastComm())
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestCalibrateCoresMatchesSequential: the per-core mcalibrator
+// fan-out returns, at any parallelism, exactly what sequential
+// per-core Mcalibrator calls produce.
+func TestCalibrateCoresMatchesSequential(t *testing.T) {
+	m := topology.SMTQuad()
+	opt := Options{Seed: 1, MaxCacheBytes: 128 * topology.KB, NoiseSigma: 0.02}
+	seq, err := NewSuite(m, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []Calibration
+	for c := 0; c < m.CoresPerNode; c++ {
+		want = append(want, seq.Mcalibrator(c))
+	}
+
+	opt.Parallelism = 4
+	par, err := NewSuite(m, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := par.CalibrateCores(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("calibrations = %d, want %d", len(got), len(want))
+	}
+	for c := range want {
+		for i := range want[c].Cycles {
+			if got[c].Cycles[i] != want[c].Cycles[i] {
+				t.Fatalf("core %d size %d: parallel %g vs sequential %g",
+					c, want[c].Sizes[i], got[c].Cycles[i], want[c].Cycles[i])
+			}
+		}
+	}
+
+	if _, err := par.CalibrateCores(context.Background(), 99); err == nil {
+		t.Error("out-of-range core accepted")
+	}
+}
+
+func TestChunkRanges(t *testing.T) {
+	cases := []struct {
+		n, parallelism int
+	}{
+		{0, 1}, {1, 1}, {5, 1}, {276, 4}, {496, 8}, {3, 16},
+	}
+	for _, c := range cases {
+		ranges := chunkRanges(c.n, c.parallelism)
+		covered := 0
+		prevEnd := 0
+		for _, r := range ranges {
+			if r[0] != prevEnd {
+				t.Errorf("chunkRanges(%d,%d): gap before %v", c.n, c.parallelism, r)
+			}
+			if r[1] < r[0] {
+				t.Errorf("chunkRanges(%d,%d): inverted range %v", c.n, c.parallelism, r)
+			}
+			covered += r[1] - r[0]
+			prevEnd = r[1]
+		}
+		if covered != c.n {
+			t.Errorf("chunkRanges(%d,%d) covers %d items", c.n, c.parallelism, covered)
 		}
 	}
 }

@@ -43,7 +43,6 @@ func SizeGrid(min, max int64) []int64 {
 // opt.Passes measured traversals.
 func Mcalibrator(in *memsys.Instance, core int, opt Options) Calibration {
 	opt = opt.withDefaults(in.Machine())
-	noise := newNoiser(opt.Seed+int64(core)*7919, opt.NoiseSigma)
 	sizes := SizeGrid(opt.MinCacheBytes, opt.MaxCacheBytes)
 	cal := Calibration{Sizes: sizes, Cycles: make([]float64, len(sizes))}
 	sp := in.NewSpace()
@@ -57,7 +56,7 @@ func Mcalibrator(in *memsys.Instance, core int, opt Options) Calibration {
 			sp.Free(a)
 			sum += avg
 		}
-		cal.Cycles[i] = noise.perturb(sum / float64(opt.Allocations))
+		cal.Cycles[i] = perturbAt(sum/float64(opt.Allocations), opt.NoiseSigma, opt.Seed, noiseMcal, int64(core), int64(i))
 	}
 	return cal
 }

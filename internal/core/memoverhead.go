@@ -24,17 +24,19 @@ const memProbeBytes = 16 * topology.MB
 // measurements would move.
 func MemoryOverhead(m *topology.Machine, opt Options) (report.MemoryResult, float64) {
 	opt = opt.withDefaults(m)
-	noise := newNoiser(opt.Seed+211, opt.NoiseSigma)
 	var probeNS float64
 
-	measure := func(core int, active []int) float64 {
+	// measure perturbs each bandwidth sample statelessly under the
+	// given measurement keys (see perturbAt), so the noise a sample
+	// receives identifies what was measured, not when.
+	measure := func(core int, active []int, keys ...int64) float64 {
 		bw := memsys.StreamBandwidth(m, core, active)
 		// Copying memProbeBytes at bw GB/s (1 GB/s = 1 byte/ns).
 		probeNS += float64(memProbeBytes) / bw
-		return noise.perturb(bw)
+		return perturbAt(bw, opt.NoiseSigma, opt.Seed, append([]int64{noiseMemory}, keys...)...)
 	}
 
-	res := report.MemoryResult{RefBandwidthGBs: measure(0, []int{0})}
+	res := report.MemoryResult{RefBandwidthGBs: measure(0, []int{0}, memNoiseRef)}
 	ref := res.RefBandwidthGBs
 
 	// n, BW[0..n-1], Pm[0..n-1] of Fig. 6.
@@ -42,7 +44,7 @@ func MemoryOverhead(m *topology.Machine, opt Options) (report.MemoryResult, floa
 	var pairsPerLevel [][][2]int
 	for a := 0; a < m.CoresPerNode; a++ {
 		for b := a + 1; b < m.CoresPerNode; b++ {
-			bw := measure(a, []int{a, b})
+			bw := measure(a, []int{a, b}, memNoisePair, int64(a), int64(b))
 			if bw >= ref || stats.Similar(bw, ref, opt.SimilarTol) {
 				continue // no overhead
 			}
@@ -67,7 +69,7 @@ func MemoryOverhead(m *topology.Machine, opt Options) (report.MemoryResult, floa
 			Pairs:        pairsPerLevel[i],
 			Groups:       stats.Components(pairsPerLevel[i]),
 		}
-		lvl.Scalability = scaleGroup(m, lvl, opt, measure)
+		lvl.Scalability = scaleGroup(m, lvl, i, measure)
 		res.Levels = append(res.Levels, lvl)
 	}
 	return res, probeNS
@@ -78,7 +80,7 @@ func MemoryOverhead(m *topology.Machine, opt Options) (report.MemoryResult, floa
 // added in an order that exercises this level's collisions first: the
 // representative core (first of the first pair), then its partners in
 // the level's pair list, then the rest of the group.
-func scaleGroup(m *topology.Machine, lvl report.OverheadLevel, opt Options, measure func(int, []int) float64) []report.ScalPoint {
+func scaleGroup(m *topology.Machine, lvl report.OverheadLevel, levelIdx int, measure func(int, []int, ...int64) float64) []report.ScalPoint {
 	if len(lvl.Groups) == 0 {
 		return nil
 	}
@@ -111,7 +113,7 @@ func scaleGroup(m *topology.Machine, lvl report.OverheadLevel, opt Options, meas
 	var points []report.ScalPoint
 	for n := 1; n <= len(order); n++ {
 		active := order[:n]
-		per := measure(rep, active)
+		per := measure(rep, active, memNoiseScal, int64(levelIdx), int64(n))
 		agg := 0.0
 		for _, share := range memsys.FairShare(m, active) {
 			agg += share

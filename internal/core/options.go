@@ -14,6 +14,7 @@ package core
 import (
 	"math/rand"
 
+	"servet/internal/stats"
 	"servet/internal/topology"
 )
 
@@ -62,10 +63,17 @@ type Options struct {
 	// size, which separates channels that happen to coincide at a
 	// single probe size. Empty means [message size].
 	LayerSizes []int64
-	// Parallelism bounds how many independent probes the engine runs
+	// Parallelism bounds how many tasks each fan-out level runs
 	// concurrently (default 1: the paper's sequential stage order).
-	// The merged report is identical at any parallelism; only wall
-	// times change.
+	// One knob governs every level: independent probes of one run,
+	// and the sharded measurements inside a probe (the
+	// communication-costs pair sweep and per-layer micro-benchmarks,
+	// the per-core CalibrateCores loop). Levels nest — a probe's
+	// internal shards get their own worker pool — so a full-suite run
+	// may briefly execute up to ~2x this many simulation tasks. The
+	// merged report is byte-identical at any parallelism —
+	// measurements merge in index order and noise is drawn statelessly
+	// per measurement — only wall times change.
 	Parallelism int
 	// Seed drives page placement and measurement noise (default 1).
 	Seed int64
@@ -124,24 +132,45 @@ func (o Options) withDefaults(m *topology.Machine) Options {
 	return o
 }
 
-// noiser perturbs measurements with seeded relative Gaussian noise.
-// With sigma 0 it is the identity.
-type noiser struct {
-	rng   *rand.Rand
-	sigma float64
-}
+// Noise-family keys: the first key after the seed names the probe
+// family a measurement belongs to, so two probes never share a noise
+// stream even when their remaining indices coincide.
+const (
+	noiseMcal int64 = iota + 1
+	noiseShared
+	noiseMemory
+	noiseComm
+)
 
-func newNoiser(seed int64, sigma float64) *noiser {
-	return &noiser{rng: rand.New(rand.NewSource(seed)), sigma: sigma}
-}
+// Measurement kinds within the communication-costs family.
+const (
+	commNoiseLatency int64 = iota
+	commNoiseBandwidth
+	commNoiseScalability
+)
 
-// perturb returns v scaled by a factor drawn around 1. Values never
-// turn negative.
-func (n *noiser) perturb(v float64) float64 {
-	if n.sigma <= 0 {
+// Measurement kinds within the memory-overhead family.
+const (
+	memNoiseRef int64 = iota
+	memNoisePair
+	memNoiseScal
+)
+
+// perturbAt returns v scaled by seeded relative Gaussian noise drawn
+// statelessly per measurement: the factor is a pure function of
+// (seed, keys) — by convention the probe family plus the measured
+// pair/size indices — never of how many draws preceded it. A pair's
+// perturbation is therefore identical no matter which worker measures
+// it or in what order, which keeps noisy reports byte-identical at any
+// parallelism. With sigma 0 it is the identity. Values never turn
+// negative.
+func perturbAt(v, sigma float64, seed int64, keys ...int64) float64 {
+	if sigma <= 0 {
 		return v
 	}
-	f := 1 + n.rng.NormFloat64()*n.sigma
+	h := stats.MixKeys(append([]int64{seed}, keys...)...)
+	rng := rand.New(rand.NewSource(int64(h)))
+	f := 1 + rng.NormFloat64()*sigma
 	if f < 0.01 {
 		f = 0.01
 	}

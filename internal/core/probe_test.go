@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"runtime"
 	"testing"
 	"time"
 
@@ -216,9 +217,11 @@ func goldenJSON(t *testing.T, r *report.Report) string {
 }
 
 // TestParallelMatchesSequentialAllModels is the engine's golden test:
-// for every predefined machine model, the concurrently scheduled run
-// merges into a report byte-identical (wall times aside) to the
-// legacy sequential order.
+// for every predefined machine model, the concurrently scheduled run —
+// probe-level fan-out plus the intra-probe sharding inside the
+// communication-costs sweep — merges into a report byte-identical
+// (wall times aside) to the sequential order, at parallelism 2, 4 and
+// NumCPU.
 func TestParallelMatchesSequentialAllModels(t *testing.T) {
 	models := topology.Models(2)
 	names := make([]string, 0, len(models))
@@ -245,8 +248,10 @@ func TestParallelMatchesSequentialAllModels(t *testing.T) {
 				return goldenJSON(t, r)
 			}
 			seq := run(1)
-			if par := run(4); par != seq {
-				t.Errorf("parallel run diverges from sequential:\nseq: %s\npar: %s", seq, par)
+			for _, p := range []int{2, 4, runtime.NumCPU()} {
+				if par := run(p); par != seq {
+					t.Errorf("parallelism %d diverges from sequential:\nseq: %s\npar: %s", p, seq, par)
+				}
 			}
 		})
 	}

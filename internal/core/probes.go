@@ -229,7 +229,7 @@ func (commCostsProbe) Run(ctx context.Context, env *Env) (Partial, error) {
 	if err != nil {
 		return Partial{}, err
 	}
-	commRes, commNS, err := CommunicationCosts(env.Machine, levels[0].SizeBytes, env.Opt)
+	commRes, commNS, err := CommunicationCostsContext(ctx, env.Machine, levels[0].SizeBytes, env.Opt)
 	if err != nil {
 		return Partial{}, err
 	}

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"context"
+	"errors"
+
+	"servet/internal/sched"
+)
+
+// chunkRanges splits n work items into index-ordered, contiguous
+// [start, end) ranges — about four chunks per worker, so a chunk of
+// expensive items (e.g. cross-node pairs) cannot stall the whole
+// sweep behind one worker. The split depends only on (n, parallelism)
+// and workers write disjoint index ranges, so sharded sweeps merge
+// back in index order regardless of completion order.
+func chunkRanges(n, parallelism int) [][2]int {
+	if n <= 0 {
+		return nil
+	}
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	chunks := parallelism * 4
+	if chunks > n {
+		chunks = n
+	}
+	out := make([][2]int, 0, chunks)
+	for c := 0; c < chunks; c++ {
+		start := c * n / chunks
+		end := (c + 1) * n / chunks
+		out = append(out, [2]int{start, end})
+	}
+	return out
+}
+
+// runShards executes independent measurement tasks over the engine's
+// scheduler and unwraps the first failure to the task's own error, so
+// probes report the same error text whether a measurement failed in a
+// worker or inline.
+func runShards(ctx context.Context, tasks []sched.Task, parallelism int) error {
+	if len(tasks) == 0 {
+		return nil
+	}
+	_, err := sched.Run(ctx, tasks, parallelism)
+	if err != nil {
+		var te *sched.TaskError
+		if errors.As(err, &te) {
+			return te.Err
+		}
+		return err
+	}
+	return nil
+}

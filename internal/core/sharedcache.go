@@ -58,7 +58,6 @@ func SharedCaches(m *topology.Machine, levels []DetectedCache, opt Options) []Sh
 // pairs containing core 0).
 func SharedCachePairs(m *topology.Machine, levels []DetectedCache, pairs [][2]int, opt Options) []SharedCacheLevel {
 	opt = opt.withDefaults(m)
-	noise := newNoiser(opt.Seed+101, opt.NoiseSigma)
 	in := memsys.NewInstance(m, opt.Seed)
 	var out []SharedCacheLevel
 
@@ -76,10 +75,10 @@ func SharedCachePairs(m *topology.Machine, levels []DetectedCache, pairs [][2]in
 		a := sp.Alloc(arrayBytes)
 		ref, total := traverse(in, 0, sp, a, opt.StrideBytes, opt.Passes)
 		sp.Free(a)
-		res.RefCycles = noise.perturb(ref)
+		res.RefCycles = perturbAt(ref, opt.NoiseSigma, opt.Seed, noiseShared, int64(lvl.Level), -1)
 		res.ProbeCycles += total
 
-		for _, pair := range pairs {
+		for pi, pair := range pairs {
 			pa, pb := pair[0], pair[1]
 			in.ResetCaches()
 			spA, spB := in.NewSpace(), in.NewSpace()
@@ -91,7 +90,7 @@ func SharedCachePairs(m *topology.Machine, levels []DetectedCache, pairs [][2]in
 			st := memsys.RunConcurrent(in, streams, opt.Passes+1)
 			spA.Free(arrA)
 			spB.Free(arrB)
-			c := noise.perturb((st[0].AvgCycles() + st[1].AvgCycles()) / 2)
+			c := perturbAt((st[0].AvgCycles()+st[1].AvgCycles())/2, opt.NoiseSigma, opt.Seed, noiseShared, int64(lvl.Level), int64(pi))
 			res.ProbeCycles += st[0].Cycles + st[1].Cycles
 			ratio := c / res.RefCycles
 			res.Ratios = append(res.Ratios, PairRatio{A: pa, B: pb, Ratio: ratio})

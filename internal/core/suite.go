@@ -58,6 +58,48 @@ func (s *Suite) Mcalibrator(coreID int) Calibration {
 	return Mcalibrator(memsys.NewInstance(s.m, s.opt.Seed), coreID, s.opt)
 }
 
+// CalibrateCores runs the Fig. 1 calibration loop on each of the given
+// node-local cores (no cores means all of them), fanning the per-core
+// runs over the engine's scheduler under Options.Parallelism. Each
+// core calibrates against its own fresh memory-system instance —
+// exactly what Mcalibrator builds per call — so the results are
+// identical to a sequential per-core loop at any parallelism.
+// Calibrations come back in the order the cores were given.
+func (s *Suite) CalibrateCores(ctx context.Context, cores ...int) ([]Calibration, error) {
+	if len(cores) == 0 {
+		cores = make([]int, s.m.CoresPerNode)
+		for i := range cores {
+			cores[i] = i
+		}
+	}
+	for _, c := range cores {
+		if c < 0 || c >= s.m.CoresPerNode {
+			return nil, fmt.Errorf("core: calibrate core %d: machine %s has %d cores per node", c, s.m.Name, s.m.CoresPerNode)
+		}
+	}
+	cals := make([]Calibration, len(cores))
+	tasks := make([]sched.Task, len(cores))
+	for i, c := range cores {
+		i, c := i, c
+		tasks[i] = sched.Task{
+			// Cores may repeat in the request; the index keeps task
+			// names unique.
+			Name: fmt.Sprintf("mcal:%d:%d", i, c),
+			Run: func(ctx context.Context) error {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				cals[i] = Mcalibrator(memsys.NewInstance(s.m, s.opt.Seed), c, s.opt)
+				return nil
+			},
+		}
+	}
+	if err := runShards(ctx, tasks, s.opt.Parallelism); err != nil {
+		return nil, err
+	}
+	return cals, nil
+}
+
 // DetectTLB runs the TLB extension probe on core 0; ok is false when
 // the machine shows no translation-miss transition.
 func (s *Suite) DetectTLB() (DetectedTLB, bool) {

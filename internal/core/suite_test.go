@@ -134,15 +134,33 @@ func TestSuiteDeterministic(t *testing.T) {
 	}
 }
 
-func TestNoiserIdentityAtZeroSigma(t *testing.T) {
-	n := newNoiser(1, 0)
-	if n.perturb(42) != 42 {
-		t.Error("zero-sigma noiser must be identity")
+func TestPerturbAtIdentityAtZeroSigma(t *testing.T) {
+	if perturbAt(42, 0, 1, noiseComm, 0, 0) != 42 {
+		t.Error("zero-sigma perturbAt must be identity")
 	}
-	n2 := newNoiser(1, 0.05)
-	v := n2.perturb(100)
+	v := perturbAt(100, 0.05, 1, noiseComm, 0, 0)
 	if v <= 0 {
 		t.Errorf("perturbed value %g", v)
+	}
+}
+
+// TestPerturbAtStateless: the perturbation of one measurement depends
+// only on its keys — not on any draw order — so sharded sweeps apply
+// the same noise a sequential sweep would.
+func TestPerturbAtStateless(t *testing.T) {
+	a := perturbAt(100, 0.05, 7, noiseComm, commNoiseLatency, 3, 0)
+	b := perturbAt(100, 0.05, 7, noiseComm, commNoiseLatency, 3, 0)
+	if a != b {
+		t.Errorf("same keys drew different noise: %g vs %g", a, b)
+	}
+	if c := perturbAt(100, 0.05, 7, noiseComm, commNoiseLatency, 4, 0); c == a {
+		t.Error("different pair index drew identical noise")
+	}
+	if d := perturbAt(100, 0.05, 8, noiseComm, commNoiseLatency, 3, 0); d == a {
+		t.Error("different seed drew identical noise")
+	}
+	if e := perturbAt(100, 0.05, 7, noiseMcal, commNoiseLatency, 3, 0); e == a {
+		t.Error("different probe family drew identical noise")
 	}
 }
 

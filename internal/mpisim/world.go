@@ -86,6 +86,16 @@ func IdentityPlacement(n int) []int {
 // simulation to completion. It returns the virtual time at which the
 // last event completed. A deadlock (e.g. a Recv with no matching Send)
 // is returned as an error.
+//
+// Run is safe for concurrent callers sharing one *topology.Machine:
+// every call builds its own kernel, mailboxes, shared-memory
+// resources and network fabric, and the machine description is only
+// read (channelFor, SplitCore, SharedCacheLevel), never mutated. The
+// sharded communication-costs sweep relies on this — see
+// TestConcurrentWorldsShareMachine, which runs under -race in CI.
+// Within one world, rank bodies execute strictly one at a time under
+// the kernel's baton, so closures over shared result slices (as the
+// bench helpers use) need no locking.
 func Run(m *topology.Machine, nranks int, placement []int, body func(r *Rank)) (elapsedNS int64, err error) {
 	if placement == nil {
 		placement = IdentityPlacement(nranks)

@@ -1,6 +1,7 @@
 package mpisim
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -278,5 +279,65 @@ func TestRankAccessors(t *testing.T) {
 	})
 	if err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestConcurrentWorldsShareMachine pins the concurrency contract the
+// sharded communication-costs sweep relies on: every Run builds its
+// own kernel, world and transport resources, and only reads the
+// machine description, so independent simulations may execute
+// concurrently against one *topology.Machine. Run under -race, any
+// shared mutable state on the machine shows up here; the results must
+// also be identical across goroutines (and to an inline run).
+func TestConcurrentWorldsShareMachine(t *testing.T) {
+	m := topology.FinisTerrae(2)
+	// Vertex-disjoint pairs: ConcurrentMeanCompletionNS places one rank
+	// per core.
+	pairs := [][2]int{{0, 1}, {2, 18}, {4, 5}, {6, 22}}
+
+	baseline := make([]float64, len(pairs))
+	for i, p := range pairs {
+		l, err := PingPongOneWayNS(m, p[0], p[1], 16<<10, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		baseline[i] = l
+	}
+	base, err := ConcurrentMeanCompletionNS(m, pairs, 16<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 8
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			for i, p := range pairs {
+				l, err := PingPongOneWayNS(m, p[0], p[1], 16<<10, 3)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if l != baseline[i] {
+					errs <- fmt.Errorf("pair %v: concurrent latency %g, inline %g", p, l, baseline[i])
+					return
+				}
+			}
+			mean, err := ConcurrentMeanCompletionNS(m, pairs, 16<<10)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if mean != base {
+				errs <- fmt.Errorf("concurrent completion mean %g, inline %g", mean, base)
+				return
+			}
+			errs <- nil
+		}()
+	}
+	for w := 0; w < workers; w++ {
+		if err := <-errs; err != nil {
+			t.Error(err)
+		}
 	}
 }

@@ -8,6 +8,12 @@
 // resource wait, mailbox receive) before processing the next event.
 // This gives process-style modelling (used by internal/mpisim for MPI
 // ranks) without data races or host-scheduling nondeterminism.
+//
+// A Kernel and everything attached to it (processes, resources,
+// mailboxes) belong to a single simulation and must not be shared
+// across goroutines; concurrency across simulations is safe because
+// kernels share no state — the probe engine exploits exactly that by
+// running many independent simulations in parallel.
 package sim
 
 import (

@@ -1,0 +1,25 @@
+package stats
+
+// Mix64 is the splitmix64 finalizer: a fast bijective mixer with full
+// avalanche, so nearby inputs (consecutive measurement indices) yield
+// statistically independent outputs. The suite derives per-measurement
+// noise seeds from it by folding a key sequence — (seed, probe family,
+// pair/size indices) — one Mix64 step per key, which makes a
+// measurement's perturbation a pure function of what is being measured
+// rather than of how many measurements some worker drew before it.
+func Mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// MixKeys folds a key sequence into one 64-bit seed with Mix64. The
+// fold is order-sensitive: (1, 2) and (2, 1) give different seeds.
+func MixKeys(keys ...int64) uint64 {
+	h := uint64(0)
+	for _, k := range keys {
+		h = Mix64(h ^ uint64(k))
+	}
+	return h
+}

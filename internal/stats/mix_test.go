@@ -1,0 +1,38 @@
+package stats
+
+import "testing"
+
+func TestMix64Avalanche(t *testing.T) {
+	// Consecutive inputs must not produce correlated outputs: check
+	// that flipping the input by 1 changes roughly half the bits.
+	for _, x := range []uint64{0, 1, 42, 1 << 40} {
+		a, b := Mix64(x), Mix64(x+1)
+		diff := a ^ b
+		bits := 0
+		for diff != 0 {
+			bits += int(diff & 1)
+			diff >>= 1
+		}
+		if bits < 16 || bits > 48 {
+			t.Errorf("Mix64(%d) vs Mix64(%d): %d differing bits, want ~32", x, x+1, bits)
+		}
+	}
+}
+
+func TestMix64Deterministic(t *testing.T) {
+	if Mix64(12345) != Mix64(12345) {
+		t.Error("Mix64 not deterministic")
+	}
+}
+
+func TestMixKeysOrderSensitive(t *testing.T) {
+	if MixKeys(1, 2) == MixKeys(2, 1) {
+		t.Error("MixKeys must distinguish key order")
+	}
+	if MixKeys(1, 2, 3) == MixKeys(1, 2, 4) {
+		t.Error("MixKeys must distinguish final keys")
+	}
+	if MixKeys() != 0 {
+		t.Error("empty key fold should be the zero seed")
+	}
+}

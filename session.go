@@ -46,8 +46,11 @@ func WithNoise(sigma float64) Option {
 	return func(c *sessionConfig) { c.opt.NoiseSigma = sigma }
 }
 
-// WithParallelism bounds how many independent probes run concurrently
-// (and how many machines Sweep probes at once).
+// WithParallelism bounds how many tasks run concurrently: independent
+// probes of one run, the sharded measurements inside the
+// communication-costs probe and CalibrateCores, and how many machines
+// Sweep probes at once. Reports are byte-identical at any
+// parallelism; only wall times change.
 func WithParallelism(n int) Option {
 	return func(c *sessionConfig) { c.opt.Parallelism = n }
 }
@@ -325,6 +328,17 @@ func (s *Session) DetectCaches() ([]DetectedCache, Calibration) {
 // node-local core and returns sizes and cycles per access.
 func (s *Session) Mcalibrator(coreID int) Calibration {
 	return s.suite.Mcalibrator(coreID)
+}
+
+// CalibrateCores runs the Fig. 1 calibration loop on each of the
+// given node-local cores (no cores means every core of a node),
+// fanned out over the session's parallelism. Every core calibrates
+// against its own fresh memory-system instance, so the calibrations
+// are identical to sequential per-core Mcalibrator calls regardless
+// of parallelism. Results come back in the order the cores were
+// given.
+func (s *Session) CalibrateCores(ctx context.Context, cores ...int) ([]Calibration, error) {
+	return s.suite.CalibrateCores(ctx, cores...)
 }
 
 // DetectTLB probes the machine's TLB (an extension beyond the paper's

@@ -31,7 +31,9 @@ func (e *SweepError) Unwrap() error { return e.Err }
 // The options apply to every session, so WithCache shares one cache
 // across the sweep — safe, because entries are keyed by machine
 // fingerprint. Do not use WithCacheFile here unless all machines are
-// the same model: a FileCache holds a single machine's report.
+// the same model: a FileCache holds a single machine's report, and a
+// session that would replace another machine's file fails with a
+// *FingerprintMismatchError instead of clobbering it.
 //
 // On the first failing session the sweep stops launching machines,
 // and the error is a *SweepError naming the machine.
