@@ -23,6 +23,7 @@ import (
 	"os/signal"
 	"sort"
 	"strings"
+	"time"
 
 	"servet"
 )
@@ -99,6 +100,16 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Print(rep.Summary())
+	if len(rep.Provenance) > 0 {
+		// Per-probe wall-clock costs from the provenance records: a
+		// "cached" row reports the cost of the run that measured it, so
+		// users can see what a restore saved — and which probes the
+		// sharded sweeps (-parallel) actually sped up.
+		fmt.Println("\nProbe wall-clock durations:")
+		for _, p := range rep.Provenance {
+			fmt.Printf("  %-22s %12s  (%s)\n", p.Probe, p.Wall.Round(time.Microsecond), p.Status)
+		}
+	}
 	if *cachePath != "" {
 		fmt.Printf("\ncache file %s updated (machine fingerprint %s)\n", *cachePath, ses.Fingerprint())
 	}

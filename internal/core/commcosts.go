@@ -6,7 +6,6 @@ import (
 
 	"servet/internal/mpisim"
 	"servet/internal/report"
-	"servet/internal/sched"
 	"servet/internal/stats"
 	"servet/internal/topology"
 )
@@ -37,15 +36,16 @@ func CommunicationCosts(m *topology.Machine, messageBytes int64, opt Options) (r
 // CommunicationCostsContext is the context-aware CommunicationCosts:
 // cancelling the context aborts the sweep between measurements.
 //
-// The O(n²) pair sweep is split into index-ordered chunks fanned out
-// over the engine's scheduler, and the per-layer bandwidth and
-// scalability micro-benchmarks run as one task per layer. Workers
-// only record raw latencies into disjoint index ranges; probe-cost
-// accounting, noise perturbation and layer clustering all happen in a
-// sequential merge over the measurements in pair order, and noise is
-// drawn statelessly per measurement (perturbAt), so the result —
-// including the simulated probe time, a float sum sensitive to
-// addition order — is byte-identical at any Options.Parallelism.
+// Both phases run through the suite's sharded-sweep helper (see
+// shard.go): the O(n²) pair sweep over index-ordered chunks, the
+// per-layer bandwidth and scalability micro-benchmarks as one
+// measurement per layer. Workers only record raw latencies into
+// disjoint slots; probe-cost accounting, noise perturbation and layer
+// clustering all happen in a sequential merge over the measurements
+// in pair order, and noise is drawn statelessly per measurement
+// (perturbAt), so the result — including the simulated probe time, a
+// float sum sensitive to addition order — is byte-identical at any
+// Options.Parallelism.
 func CommunicationCostsContext(ctx context.Context, m *topology.Machine, messageBytes int64, opt Options) (report.CommResult, float64, error) {
 	opt = opt.withDefaults(m)
 	if messageBytes <= 0 {
@@ -69,37 +69,23 @@ func CommunicationCostsContext(ctx context.Context, m *topology.Machine, message
 		}
 	}
 
-	// Phase 1: the pair sweep, sharded into index-ordered chunks. Each
-	// ping-pong builds its own simulation world and only reads the
-	// machine, so chunks are independent; workers store raw latencies
-	// into their disjoint slice ranges.
-	rawLats := make([][]float64, len(pairs))
-	var sweepTasks []sched.Task
-	for ci, r := range chunkRanges(len(pairs), opt.Parallelism) {
-		start, end := r[0], r[1]
-		sweepTasks = append(sweepTasks, sched.Task{
-			Name: fmt.Sprintf("pairs:%d", ci),
-			Run: func(ctx context.Context) error {
-				for i := start; i < end; i++ {
-					if err := ctx.Err(); err != nil {
-						return err
-					}
-					a, b := pairs[i][0], pairs[i][1]
-					vec := make([]float64, len(layerSizes))
-					for si, size := range layerSizes {
-						l, err := mpisim.PingPongOneWayNS(m, a, b, size, opt.CommReps)
-						if err != nil {
-							return fmt.Errorf("core: ping-pong %d<->%d: %w", a, b, err)
-						}
-						vec[si] = l
-					}
-					rawLats[i] = vec
-				}
-				return nil
-			},
-		})
-	}
-	if err := runShards(ctx, sweepTasks, opt.Parallelism); err != nil {
+	// Phase 1: the pair sweep, sharded through the suite's sweep
+	// helper. Each ping-pong builds its own simulation world and only
+	// reads the machine, so measurements are independent; workers store
+	// raw latency vectors into their disjoint slots.
+	rawLats, err := sweep(ctx, "pairs", len(pairs), opt.Parallelism, func(i int) ([]float64, error) {
+		a, b := pairs[i][0], pairs[i][1]
+		vec := make([]float64, len(layerSizes))
+		for si, size := range layerSizes {
+			l, err := mpisim.PingPongOneWayNS(m, a, b, size, opt.CommReps)
+			if err != nil {
+				return nil, fmt.Errorf("core: ping-pong %d<->%d: %w", a, b, err)
+			}
+			vec[si] = l
+		}
+		return vec, nil
+	})
+	if err != nil {
 		return res, probeNS, err
 	}
 
@@ -136,58 +122,54 @@ func CommunicationCostsContext(ctx context.Context, m *topology.Machine, message
 		}
 	}
 
-	// Phase 2: per-layer micro-benchmarks, one bandwidth task and one
-	// scalability task per layer. The matchings are deterministic
-	// functions of the (already fixed) layer pair lists.
+	// Phase 2: per-layer micro-benchmarks — the bandwidth and
+	// scalability sweeps of one layer are one measurement of a sweep
+	// over the layers. The matchings are deterministic functions of the
+	// (already fixed) layer pair lists.
 	matchings := make([][][2]int, len(lats))
 	counts := make([][]int, len(lats))
 	for i, pp := range pairsPerLayer {
 		matchings[i] = stats.GreedyMatching(pp)
 		counts[i] = scalCounts(len(matchings[i]))
 	}
-	rawBW := make([][]float64, len(lats))
-	rawScal := make([][]float64, len(lats))
-	var layerTasks []sched.Task
-	for i := range lats {
-		i := i
-		rep := pairsPerLayer[i][0]
-		rawBW[i] = make([]float64, len(opt.BWSizes))
-		rawScal[i] = make([]float64, len(counts[i]))
-		layerTasks = append(layerTasks, sched.Task{
-			Name: fmt.Sprintf("bw:%d", i),
-			Run: func(ctx context.Context) error {
-				for j, size := range opt.BWSizes {
-					if err := ctx.Err(); err != nil {
-						return err
-					}
-					oneWay, err := mpisim.PingPongOneWayNS(m, rep[0], rep[1], size, opt.CommReps)
-					if err != nil {
-						return fmt.Errorf("core: bandwidth sweep %v: %w", rep, err)
-					}
-					rawBW[i][j] = oneWay
-				}
-				return nil
-			},
-		})
-		layerTasks = append(layerTasks, sched.Task{
-			Name: fmt.Sprintf("scal:%d", i),
-			Run: func(ctx context.Context) error {
-				name := mpisim.ChannelNameBetween(m, rep[0], rep[1])
-				for k, n := range counts[i] {
-					if err := ctx.Err(); err != nil {
-						return err
-					}
-					mean, err := mpisim.ConcurrentMeanCompletionNS(m, matchings[i][:n], messageBytes)
-					if err != nil {
-						return fmt.Errorf("core: scalability %s n=%d: %w", name, n, err)
-					}
-					rawScal[i][k] = mean
-				}
-				return nil
-			},
-		})
+	type layerRaw struct {
+		bw   []float64
+		scal []float64
 	}
-	if err := runShards(ctx, layerTasks, opt.Parallelism); err != nil {
+	layerRaws, err := sweep(ctx, "layer", len(lats), opt.Parallelism, func(i int) (layerRaw, error) {
+		rep := pairsPerLayer[i][0]
+		raw := layerRaw{
+			bw:   make([]float64, len(opt.BWSizes)),
+			scal: make([]float64, len(counts[i])),
+		}
+		// One layer's measurement is itself a loop of micro-benchmarks;
+		// keep cancellation at micro-benchmark granularity rather than
+		// whole-layer (a single-layer machine would otherwise only see
+		// the context once, before the entire phase).
+		for j, size := range opt.BWSizes {
+			if err := ctx.Err(); err != nil {
+				return layerRaw{}, err
+			}
+			oneWay, err := mpisim.PingPongOneWayNS(m, rep[0], rep[1], size, opt.CommReps)
+			if err != nil {
+				return layerRaw{}, fmt.Errorf("core: bandwidth sweep %v: %w", rep, err)
+			}
+			raw.bw[j] = oneWay
+		}
+		name := mpisim.ChannelNameBetween(m, rep[0], rep[1])
+		for k, n := range counts[i] {
+			if err := ctx.Err(); err != nil {
+				return layerRaw{}, err
+			}
+			mean, err := mpisim.ConcurrentMeanCompletionNS(m, matchings[i][:n], messageBytes)
+			if err != nil {
+				return layerRaw{}, fmt.Errorf("core: scalability %s n=%d: %w", name, n, err)
+			}
+			raw.scal[k] = mean
+		}
+		return raw, nil
+	})
+	if err != nil {
 		return res, probeNS, err
 	}
 
@@ -204,7 +186,7 @@ func CommunicationCostsContext(ctx context.Context, m *topology.Machine, message
 			Representative: rep,
 		}
 		for j, size := range opt.BWSizes {
-			oneWay := rawBW[i][j]
+			oneWay := layerRaws[i].bw[j]
 			probeNS += oneWay * float64(2*(opt.CommReps+1))
 			oneWay = perturbAt(oneWay, opt.NoiseSigma, opt.Seed, noiseComm, commNoiseBandwidth, int64(i), int64(j))
 			layer.Bandwidth = append(layer.Bandwidth, report.BWPoint{
@@ -215,7 +197,7 @@ func CommunicationCostsContext(ctx context.Context, m *topology.Machine, message
 		}
 		var single float64
 		for k, n := range counts[i] {
-			mean := rawScal[i][k]
+			mean := layerRaws[i].scal[k]
 			probeNS += mean * float64(n)
 			mean = perturbAt(mean, opt.NoiseSigma, opt.Seed, noiseComm, commNoiseScalability, int64(i), int64(k))
 			if n == 1 {

@@ -4,7 +4,6 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
-	"runtime"
 	"testing"
 
 	"servet/internal/mpisim"
@@ -220,7 +219,7 @@ func TestCommCostsShardedGolden(t *testing.T) {
 			}
 			opt := fastComm()
 			opt.NoiseSigma = 0.02
-			run := func(parallelism int) string {
+			assertShardedGolden(t, func(parallelism int) string {
 				opt.Parallelism = parallelism
 				res, probeNS, err := CommunicationCosts(m, 16*topology.KB, opt)
 				if err != nil {
@@ -234,13 +233,7 @@ func TestCommCostsShardedGolden(t *testing.T) {
 					t.Fatal(err)
 				}
 				return string(data)
-			}
-			seq := run(1)
-			for _, p := range []int{2, runtime.NumCPU()} {
-				if par := run(p); par != seq {
-					t.Errorf("parallelism %d diverges from sequential:\nseq: %s\npar: %s", p, seq, par)
-				}
-			}
+			})
 		})
 	}
 }
@@ -294,32 +287,6 @@ func TestCalibrateCoresMatchesSequential(t *testing.T) {
 
 	if _, err := par.CalibrateCores(context.Background(), 99); err == nil {
 		t.Error("out-of-range core accepted")
-	}
-}
-
-func TestChunkRanges(t *testing.T) {
-	cases := []struct {
-		n, parallelism int
-	}{
-		{0, 1}, {1, 1}, {5, 1}, {276, 4}, {496, 8}, {3, 16},
-	}
-	for _, c := range cases {
-		ranges := chunkRanges(c.n, c.parallelism)
-		covered := 0
-		prevEnd := 0
-		for _, r := range ranges {
-			if r[0] != prevEnd {
-				t.Errorf("chunkRanges(%d,%d): gap before %v", c.n, c.parallelism, r)
-			}
-			if r[1] < r[0] {
-				t.Errorf("chunkRanges(%d,%d): inverted range %v", c.n, c.parallelism, r)
-			}
-			covered += r[1] - r[0]
-			prevEnd = r[1]
-		}
-		if covered != c.n {
-			t.Errorf("chunkRanges(%d,%d) covers %d items", c.n, c.parallelism, covered)
-		}
 	}
 }
 

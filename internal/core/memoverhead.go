@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"servet/internal/memsys"
 	"servet/internal/report"
 	"servet/internal/stats"
@@ -23,46 +25,89 @@ const memProbeBytes = 16 * topology.MB
 // The returned simulated-probe duration accounts for the traffic the
 // measurements would move.
 func MemoryOverhead(m *topology.Machine, opt Options) (report.MemoryResult, float64) {
+	res, probeNS, err := MemoryOverheadContext(context.Background(), m, opt)
+	if err != nil {
+		// The background context cannot be cancelled and the
+		// measurements themselves never fail, so this is unreachable.
+		panic("core: memory-overhead sweep failed without cancellation: " + err.Error())
+	}
+	return res, probeNS
+}
+
+// MemoryOverheadContext is the context-aware MemoryOverhead used by
+// the probe engine. The O(cores²) pair sweep is sharded over the
+// engine's scheduler through the suite's sweep helper: workers record
+// only raw bandwidths into disjoint slots (slot 0 the isolated
+// reference, slot 1+i pair i), while the order-sensitive probe-time
+// float sum, the stateless noise perturbation, the overhead-level
+// clustering and the scalability curves all run in a sequential merge
+// in measurement order — so the result is byte-identical at any
+// Options.Parallelism.
+func MemoryOverheadContext(ctx context.Context, m *topology.Machine, opt Options) (report.MemoryResult, float64, error) {
 	opt = opt.withDefaults(m)
 	var probeNS float64
 
-	// measure perturbs each bandwidth sample statelessly under the
+	pairs := allNodePairs(m)
+	raw, err := sweep(ctx, "mem", 1+len(pairs), opt.Parallelism, func(i int) (float64, error) {
+		if i == 0 {
+			return memsys.StreamBandwidth(m, 0, []int{0}), nil
+		}
+		p := pairs[i-1]
+		return memsys.StreamBandwidth(m, p[0], []int{p[0], p[1]}), nil
+	})
+	if err != nil {
+		return report.MemoryResult{}, 0, err
+	}
+
+	// account charges the traffic of one measurement to the probe's
+	// simulated running time: copying memProbeBytes at bw GB/s
+	// (1 GB/s = 1 byte/ns).
+	account := func(bw float64) {
+		probeNS += float64(memProbeBytes) / bw
+	}
+	// perturb draws each bandwidth sample's noise statelessly under the
 	// given measurement keys (see perturbAt), so the noise a sample
 	// receives identifies what was measured, not when.
-	measure := func(core int, active []int, keys ...int64) float64 {
-		bw := memsys.StreamBandwidth(m, core, active)
-		// Copying memProbeBytes at bw GB/s (1 GB/s = 1 byte/ns).
-		probeNS += float64(memProbeBytes) / bw
+	perturb := func(bw float64, keys ...int64) float64 {
 		return perturbAt(bw, opt.NoiseSigma, opt.Seed, append([]int64{noiseMemory}, keys...)...)
 	}
 
-	res := report.MemoryResult{RefBandwidthGBs: measure(0, []int{0}, memNoiseRef)}
+	// Sequential merge in measurement order: reference first, then the
+	// pairs, clustered exactly as the paper's n/BW/Pm loop.
+	account(raw[0])
+	res := report.MemoryResult{RefBandwidthGBs: perturb(raw[0], memNoiseRef)}
 	ref := res.RefBandwidthGBs
 
-	// n, BW[0..n-1], Pm[0..n-1] of Fig. 6.
 	var bws []float64
 	var pairsPerLevel [][][2]int
-	for a := 0; a < m.CoresPerNode; a++ {
-		for b := a + 1; b < m.CoresPerNode; b++ {
-			bw := measure(a, []int{a, b}, memNoisePair, int64(a), int64(b))
-			if bw >= ref || stats.Similar(bw, ref, opt.SimilarTol) {
-				continue // no overhead
+	for i, p := range pairs {
+		account(raw[1+i])
+		bw := perturb(raw[1+i], memNoisePair, int64(p[0]), int64(p[1]))
+		if bw >= ref || stats.Similar(bw, ref, opt.SimilarTol) {
+			continue // no overhead
+		}
+		placed := false
+		for li, level := range bws {
+			if stats.Similar(bw, level, opt.SimilarTol) {
+				pairsPerLevel[li] = append(pairsPerLevel[li], p)
+				placed = true
+				break
 			}
-			placed := false
-			for i, level := range bws {
-				if stats.Similar(bw, level, opt.SimilarTol) {
-					pairsPerLevel[i] = append(pairsPerLevel[i], [2]int{a, b})
-					placed = true
-					break
-				}
-			}
-			if !placed {
-				bws = append(bws, bw)
-				pairsPerLevel = append(pairsPerLevel, [][2]int{{a, b}})
-			}
+		}
+		if !placed {
+			bws = append(bws, bw)
+			pairsPerLevel = append(pairsPerLevel, [][2]int{p})
 		}
 	}
 
+	// The scalability curves depend on the clustering above, so they
+	// stay in the sequential merge; measure folds raw measurement,
+	// accounting and noise for them.
+	measure := func(core int, active []int, keys ...int64) float64 {
+		bw := memsys.StreamBandwidth(m, core, active)
+		account(bw)
+		return perturb(bw, keys...)
+	}
 	for i, bw := range bws {
 		lvl := report.OverheadLevel{
 			BandwidthGBs: bw,
@@ -72,7 +117,7 @@ func MemoryOverhead(m *topology.Machine, opt Options) (report.MemoryResult, floa
 		lvl.Scalability = scaleGroup(m, lvl, i, measure)
 		res.Levels = append(res.Levels, lvl)
 	}
-	return res, probeNS
+	return res, probeNS, nil
 }
 
 // scaleGroup measures the effective bandwidth while activating the

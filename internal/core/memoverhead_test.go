@@ -1,6 +1,10 @@
 package core
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
 	"math"
 	"reflect"
 	"testing"
@@ -123,6 +127,47 @@ func TestMemoryOverheadWithNoise(t *testing.T) {
 	}
 	if res.Levels[0].BandwidthGBs >= res.Levels[1].BandwidthGBs {
 		t.Errorf("level ordering lost under noise: %+v", res.Levels)
+	}
+}
+
+// TestMemOverheadShardedGolden: the sharded pair sweep must produce a
+// byte-identical result — including the order-sensitive probeNS float
+// sum — at parallelism 1, 2, 4 and NumCPU, with noise off and on.
+func TestMemOverheadShardedGolden(t *testing.T) {
+	models := map[string]*topology.Machine{
+		"finisterrae": topology.FinisTerrae(1),
+		"dunnington":  topology.Dunnington(),
+	}
+	for name, m := range models {
+		for _, sigma := range []float64{0, 0.02} {
+			t.Run(fmt.Sprintf("%s/sigma=%g", name, sigma), func(t *testing.T) {
+				assertShardedGolden(t, func(parallelism int) string {
+					opt := Options{Seed: 1, NoiseSigma: sigma, Parallelism: parallelism}
+					res, probeNS, err := MemoryOverheadContext(context.Background(), m, opt)
+					if err != nil {
+						t.Fatal(err)
+					}
+					data, err := json.Marshal(struct {
+						Res     interface{}
+						ProbeNS float64
+					}{res, probeNS})
+					if err != nil {
+						t.Fatal(err)
+					}
+					return string(data)
+				})
+			})
+		}
+	}
+}
+
+// TestMemOverheadCancelledContext: cancelling the context aborts the
+// sharded sweep with context.Canceled.
+func TestMemOverheadCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := MemoryOverheadContext(ctx, topology.Dunnington(), Options{Seed: 1}); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
 	}
 }
 

@@ -34,7 +34,10 @@ type Options struct {
 	// warm-up pass (default 2).
 	Passes int
 	// Allocations is the number of independent allocations averaged
-	// per array size, each with fresh page placement (default 2).
+	// per measurement, each with fresh page placement (default 4):
+	// physically indexed caches behave probabilistically under random
+	// placement, so one mapping is one sample. Both mcalibrator's size
+	// grid and the shared-cache (level, pair) sweep average over it.
 	Allocations int
 	// GradientThreshold is the minimum gradient that belongs to a
 	// level transition run (default 1.10).
@@ -67,13 +70,15 @@ type Options struct {
 	// concurrently (default 1: the paper's sequential stage order).
 	// One knob governs every level: independent probes of one run,
 	// and the sharded measurements inside a probe (the
-	// communication-costs pair sweep and per-layer micro-benchmarks,
-	// the per-core CalibrateCores loop). Levels nest — a probe's
-	// internal shards get their own worker pool — so a full-suite run
-	// may briefly execute up to ~2x this many simulation tasks. The
-	// merged report is byte-identical at any parallelism —
-	// measurements merge in index order and noise is drawn statelessly
-	// per measurement — only wall times change.
+	// communication-costs, shared-cache and memory-overhead pair
+	// sweeps, the per-layer micro-benchmarks, the per-core
+	// CalibrateCores loop). Levels nest — a probe's internal shards
+	// get their own worker pool — so a full-suite run may briefly
+	// execute up to ~2x this many simulation tasks. The merged report
+	// is byte-identical at any parallelism — measurements merge in
+	// index order, noise is drawn statelessly per measurement, and
+	// memory-system instances are built per measurement from stable
+	// keys — only wall times change.
 	Parallelism int
 	// Seed drives page placement and measurement noise (default 1).
 	Seed int64

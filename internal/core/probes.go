@@ -115,7 +115,10 @@ func (sharedCachesProbe) Run(ctx context.Context, env *Env) (Partial, error) {
 	if err != nil {
 		return Partial{}, err
 	}
-	shared := SharedCaches(env.Machine, levels, env.Opt)
+	shared, err := SharedCachesContext(ctx, env.Machine, levels, env.Opt)
+	if err != nil {
+		return Partial{}, err
+	}
 	var cycles float64
 	for i := range levels {
 		if i < len(shared) {
@@ -138,17 +141,19 @@ func (sharedCachesProbe) Run(ctx context.Context, env *Env) (Partial, error) {
 	}, nil
 }
 
-// scope: the Fig. 5 concurrent-traversal options. The probe also
-// consumes the cache-size probe's output, but dependency freshness is
-// the cache's job, not the digest's.
+// scope: the Fig. 5 concurrent-traversal options, including the
+// per-measurement allocation count the sweep averages over. The probe
+// also consumes the cache-size probe's output, but dependency
+// freshness is the cache's job, not the digest's.
 func (sharedCachesProbe) scope(o Options) any {
 	return struct {
 		Seed           int64
 		NoiseSigma     float64
 		StrideBytes    int64
 		Passes         int
+		Allocations    int
 		RatioThreshold float64
-	}{o.Seed, o.NoiseSigma, o.StrideBytes, o.Passes, o.RatioThreshold}
+	}{o.Seed, o.NoiseSigma, o.StrideBytes, o.Passes, o.Allocations, o.RatioThreshold}
 }
 
 // restore rebuilds the sharing groups from the report's cache
@@ -182,7 +187,10 @@ func (memoryOverheadProbe) Name() string   { return probeMemory }
 func (memoryOverheadProbe) Deps() []string { return nil }
 
 func (memoryOverheadProbe) Run(ctx context.Context, env *Env) (Partial, error) {
-	memRes, memNS := MemoryOverhead(env.Machine, env.Opt)
+	memRes, memNS, err := MemoryOverheadContext(ctx, env.Machine, env.Opt)
+	if err != nil {
+		return Partial{}, err
+	}
 	return Partial{
 		Apply:          func(r *report.Report) { r.Memory = memRes },
 		SimulatedProbe: time.Duration(memNS),

@@ -72,7 +72,10 @@ func TestOptionsDigestScopesProbes(t *testing.T) {
 }
 
 func TestRestoreRoundTrip(t *testing.T) {
-	s, err := NewSuite(topology.Dunnington(), Options{Seed: 1, CommReps: 2, BWSizes: []int64{4096, 65536}})
+	// Allocations 2 halves the shared-cache sweep's averaging work;
+	// the round trip compares a run against its own restoration, so
+	// detection-grade sampling is not needed.
+	s, err := NewSuite(topology.Dunnington(), Options{Seed: 1, CommReps: 2, Allocations: 2, BWSizes: []int64{4096, 65536}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -3,9 +3,31 @@ package core
 import (
 	"context"
 	"errors"
+	"fmt"
 
 	"servet/internal/sched"
 )
+
+// This file is the suite's sharded-sweep framework. Every O(n) or
+// O(n²) measurement loop inside a probe — the communication-costs
+// pair sweep, the shared-cache (level, pair) sweep, the
+// memory-overhead pair sweep — runs through the same three-step
+// idiom:
+//
+//  1. plan: chunkRanges splits the measurement indices into
+//     index-ordered contiguous chunks;
+//  2. measure: sweep fans the chunks over the engine's scheduler,
+//     each worker writing raw measurements into the disjoint slots of
+//     a shared result slice;
+//  3. merge: the caller walks the slots sequentially in index order,
+//     doing everything order-sensitive there — probe-cost accounting
+//     (a float sum), noise perturbation (stateless per measurement),
+//     clustering and derived curves.
+//
+// Because workers only ever produce slot i from measurement i — with
+// per-measurement state (noise, memory-system instances) derived from
+// stable keys, never from execution order — the merged result is
+// byte-identical at any Options.Parallelism.
 
 // chunkRanges splits n work items into index-ordered, contiguous
 // [start, end) ranges — about four chunks per worker, so a chunk of
@@ -50,4 +72,43 @@ func runShards(ctx context.Context, tasks []sched.Task, parallelism int) error {
 		return err
 	}
 	return nil
+}
+
+// sweep runs measure(i) for every i in [0, n), sharded into
+// index-ordered chunks over the engine's scheduler, and returns the
+// measurements in index order. measure must be independent per index
+// (it runs concurrently up to parallelism, with the context checked
+// between measurements); anything order-sensitive belongs in the
+// caller's sequential merge over the returned slice. A measurement
+// error (or cancellation) aborts the sweep and is returned unwrapped,
+// exactly as an inline loop would have reported it.
+func sweep[T any](ctx context.Context, name string, n, parallelism int, measure func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	out := make([]T, n)
+	var tasks []sched.Task
+	for ci, r := range chunkRanges(n, parallelism) {
+		start, end := r[0], r[1]
+		tasks = append(tasks, sched.Task{
+			Name: fmt.Sprintf("%s:%d", name, ci),
+			Run: func(ctx context.Context) error {
+				for i := start; i < end; i++ {
+					if err := ctx.Err(); err != nil {
+						return err
+					}
+					v, err := measure(i)
+					if err != nil {
+						return err
+					}
+					out[i] = v
+				}
+				return nil
+			},
+		})
+	}
+	if err := runShards(ctx, tasks, parallelism); err != nil {
+		return nil, err
+	}
+	return out, nil
 }

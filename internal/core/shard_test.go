@@ -1,0 +1,137 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"testing/quick"
+)
+
+// assertShardedGolden is the one parallelism-parity harness every
+// sharded-sweep golden uses: render the result at parallelism 1, then
+// demand byte-identical renderings at 2, 4 and NumCPU. run must fold
+// everything order-sensitive (including float probe-time sums) into
+// its returned string.
+func assertShardedGolden(t *testing.T, run func(parallelism int) string) {
+	t.Helper()
+	seq := run(1)
+	for _, p := range []int{2, 4, runtime.NumCPU()} {
+		if par := run(p); par != seq {
+			t.Errorf("parallelism %d diverges from sequential:\nseq: %s\npar: %s", p, seq, par)
+		}
+	}
+}
+
+// checkPlan verifies the sharded-sweep plan invariants for one (n,
+// parallelism) input: chunks are in index order, disjoint, contiguous
+// and cover exactly [0, n).
+func checkPlan(t *testing.T, n, parallelism int) {
+	t.Helper()
+	ranges := chunkRanges(n, parallelism)
+	if n <= 0 {
+		if ranges != nil {
+			t.Errorf("chunkRanges(%d,%d) = %v, want nil", n, parallelism, ranges)
+		}
+		return
+	}
+	prevEnd := 0
+	for _, r := range ranges {
+		if r[0] != prevEnd {
+			t.Errorf("chunkRanges(%d,%d): gap or overlap before %v", n, parallelism, r)
+		}
+		if r[1] < r[0] {
+			t.Errorf("chunkRanges(%d,%d): inverted range %v", n, parallelism, r)
+		}
+		prevEnd = r[1]
+	}
+	if prevEnd != n {
+		t.Errorf("chunkRanges(%d,%d) covers [0,%d), want [0,%d)", n, parallelism, prevEnd, n)
+	}
+}
+
+// TestChunkRangesProperty: for arbitrary (n, parallelism) the plan is
+// disjoint, in-order and covers [0, n) — the invariant the whole
+// sharded-sweep framework rests on.
+func TestChunkRangesProperty(t *testing.T) {
+	f := func(n uint16, parallelism uint8) bool {
+		ranges := chunkRanges(int(n), int(parallelism))
+		if n == 0 {
+			return ranges == nil
+		}
+		prevEnd := 0
+		for _, r := range ranges {
+			if r[0] != prevEnd || r[1] < r[0] {
+				return false
+			}
+			prevEnd = r[1]
+		}
+		return prevEnd == int(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Pinned edges: empty, singleton, fewer items than workers, more
+	// chunks than items, degenerate parallelism, and a large sweep.
+	for _, c := range []struct{ n, parallelism int }{
+		{0, 4}, {-3, 4}, {1, 4}, {3, 8}, {5, 0}, {5, -1}, {17, 1}, {100000, 7},
+	} {
+		checkPlan(t, c.n, c.parallelism)
+	}
+}
+
+// TestSweepOrderedResults: measurements land in their own slots in
+// index order at any parallelism, regardless of completion order.
+func TestSweepOrderedResults(t *testing.T) {
+	for _, parallelism := range []int{1, 3, 8} {
+		out, err := sweep(context.Background(), "t", 100, parallelism, func(i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != 100 {
+			t.Fatalf("parallelism %d: %d results", parallelism, len(out))
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("parallelism %d: slot %d = %d, want %d", parallelism, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestSweepEmpty(t *testing.T) {
+	out, err := sweep(context.Background(), "t", 0, 4, func(i int) (int, error) {
+		t.Error("measure called on an empty sweep")
+		return 0, nil
+	})
+	if out != nil || err != nil {
+		t.Errorf("empty sweep = %v, %v", out, err)
+	}
+}
+
+// TestSweepPropagatesMeasurementError: a failing measurement aborts
+// the sweep and surfaces its own error, unwrapped from the scheduler's
+// task wrapper — the same text an inline loop would have reported.
+func TestSweepPropagatesMeasurementError(t *testing.T) {
+	boom := errors.New("measurement 7 failed")
+	_, err := sweep(context.Background(), "t", 20, 4, func(i int) (int, error) {
+		if i == 7 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v, want the measurement's own error", err)
+	}
+}
+
+func TestSweepCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := sweep(ctx, "t", 20, 4, func(i int) (int, error) { return i, nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}

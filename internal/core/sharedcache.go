@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"servet/internal/memsys"
 	"servet/internal/stats"
 	"servet/internal/topology"
@@ -44,64 +46,150 @@ type SharedCacheLevel struct {
 // reference shares the level's cache. Machines with one core have no
 // pairs and report every level private.
 func SharedCaches(m *topology.Machine, levels []DetectedCache, opt Options) []SharedCacheLevel {
+	return SharedCachePairs(m, levels, allNodePairs(m), opt)
+}
+
+// SharedCachesContext is the context-aware SharedCaches used by the
+// probe engine: cancelling the context aborts the sweep between
+// measurements.
+func SharedCachesContext(ctx context.Context, m *topology.Machine, levels []DetectedCache, opt Options) ([]SharedCacheLevel, error) {
+	return SharedCachePairsContext(ctx, m, levels, allNodePairs(m), opt)
+}
+
+// allNodePairs lists every pair of node-local cores in the canonical
+// (a, b) order the sweep and its noise keys are defined over.
+func allNodePairs(m *topology.Machine) [][2]int {
 	var pairs [][2]int
 	for a := 0; a < m.CoresPerNode; a++ {
 		for b := a + 1; b < m.CoresPerNode; b++ {
 			pairs = append(pairs, [2]int{a, b})
 		}
 	}
-	return SharedCachePairs(m, levels, pairs, opt)
+	return pairs
 }
 
 // SharedCachePairs is SharedCaches restricted to an explicit list of
 // node-local core pairs (the Fig. 8 plots, for clarity, only show the
 // pairs containing core 0).
 func SharedCachePairs(m *topology.Machine, levels []DetectedCache, pairs [][2]int, opt Options) []SharedCacheLevel {
+	out, err := SharedCachePairsContext(context.Background(), m, levels, pairs, opt)
+	if err != nil {
+		// The background context cannot be cancelled and the
+		// measurements themselves never fail, so this is unreachable.
+		panic("core: shared-cache sweep failed without cancellation: " + err.Error())
+	}
+	return out
+}
+
+// scSample is one raw shared-cache measurement: the mean cycles per
+// access observed and the total simulated cost of the accesses issued.
+type scSample struct {
+	avg   float64
+	total float64
+}
+
+// SharedCachePairsContext runs the Fig. 5 sweep sharded over the
+// engine's scheduler: every (level, pair) measurement — and each
+// level's isolated reference — builds its own memory-system instance
+// via memsys.NewInstanceAt, seeded from (Seed, probe family, level,
+// pair index), so the instance is identical by construction no matter
+// which worker runs the measurement or in what order. Workers record
+// only raw cycle counts into disjoint slots; noise perturbation,
+// ratio thresholding, component grouping and the order-sensitive
+// ProbeCycles float sum all happen in a sequential merge in (level,
+// pair) order, which keeps the result byte-identical at any
+// Options.Parallelism.
+func SharedCachePairsContext(ctx context.Context, m *topology.Machine, levels []DetectedCache, pairs [][2]int, opt Options) ([]SharedCacheLevel, error) {
 	opt = opt.withDefaults(m)
-	in := memsys.NewInstance(m, opt.Seed)
-	var out []SharedCacheLevel
 
-	for _, lvl := range levels {
-		arrayBytes := lvl.SizeBytes * 2 / 3
-		arrayBytes -= arrayBytes % opt.StrideBytes
-		if arrayBytes < opt.StrideBytes {
-			arrayBytes = opt.StrideBytes
+	arrayBytes := make([]int64, len(levels))
+	for li, lvl := range levels {
+		ab := lvl.SizeBytes * 2 / 3
+		ab -= ab % opt.StrideBytes
+		if ab < opt.StrideBytes {
+			ab = opt.StrideBytes
 		}
-		res := SharedCacheLevel{Level: lvl.Level, ArrayBytes: arrayBytes}
+		arrayBytes[li] = ab
+	}
 
-		// Reference: isolated traversal on core 0.
-		in.ResetCaches()
-		sp := in.NewSpace()
-		a := sp.Alloc(arrayBytes)
-		ref, total := traverse(in, 0, sp, a, opt.StrideBytes, opt.Passes)
-		sp.Free(a)
-		res.RefCycles = perturbAt(ref, opt.NoiseSigma, opt.Seed, noiseShared, int64(lvl.Level), -1)
-		res.ProbeCycles += total
-
-		for pi, pair := range pairs {
-			pa, pb := pair[0], pair[1]
-			in.ResetCaches()
+	// Measurement plan: per level, slot 0 is the isolated reference on
+	// core 0 and slot 1+pi is pair pi. Each measurement is averaged
+	// over opt.Allocations independent placements — physically indexed
+	// caches behave probabilistically under random page placement, so
+	// one mapping is one sample, exactly as in mcalibrator — each built
+	// as its own instance keyed by (Seed, family, level, pair, alloc).
+	stride := 1 + len(pairs)
+	samples, err := sweep(ctx, "shared", len(levels)*stride, opt.Parallelism, func(i int) (scSample, error) {
+		li, slot := i/stride, i%stride
+		level, ab := int64(levels[li].Level), arrayBytes[li]
+		var s scSample
+		for alloc := 0; alloc < opt.Allocations; alloc++ {
+			// Each allocation is a full concurrent traversal; keep
+			// cancellation at that granularity.
+			if err := ctx.Err(); err != nil {
+				return scSample{}, err
+			}
+			if slot == 0 {
+				in := memsys.NewInstanceAt(m, opt.Seed, noiseShared, level, -1, int64(alloc))
+				sp := in.NewSpace()
+				a := sp.Alloc(ab)
+				avg, total := traverse(in, 0, sp, a, opt.StrideBytes, opt.Passes)
+				s.avg += avg
+				s.total += total
+				continue
+			}
+			pi := slot - 1
+			pa, pb := pairs[pi][0], pairs[pi][1]
+			in := memsys.NewInstanceAt(m, opt.Seed, noiseShared, level, int64(pi), int64(alloc))
 			spA, spB := in.NewSpace(), in.NewSpace()
-			arrA, arrB := spA.Alloc(arrayBytes), spB.Alloc(arrayBytes)
+			arrA, arrB := spA.Alloc(ab), spB.Alloc(ab)
 			streams := []memsys.Stream{
 				{Core: pa, Space: spA, Addrs: traversalAddrs(arrA, opt.StrideBytes)},
 				{Core: pb, Space: spB, Addrs: traversalAddrs(arrB, opt.StrideBytes)},
 			}
 			st := memsys.RunConcurrent(in, streams, opt.Passes+1)
-			spA.Free(arrA)
-			spB.Free(arrB)
-			c := perturbAt((st[0].AvgCycles()+st[1].AvgCycles())/2, opt.NoiseSigma, opt.Seed, noiseShared, int64(lvl.Level), int64(pi))
-			res.ProbeCycles += st[0].Cycles + st[1].Cycles
-			ratio := c / res.RefCycles
-			res.Ratios = append(res.Ratios, PairRatio{A: pa, B: pb, Ratio: ratio})
+			s.avg += (st[0].AvgCycles() + st[1].AvgCycles()) / 2
+			s.total += st[0].Cycles + st[1].Cycles
+		}
+		s.avg /= float64(opt.Allocations)
+		return s, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Sequential merge in (level, pair) order.
+	var out []SharedCacheLevel
+	for li, lvl := range levels {
+		res := SharedCacheLevel{Level: lvl.Level, ArrayBytes: arrayBytes[li]}
+		ref := samples[li*stride]
+		res.RefCycles = perturbAt(ref.avg, opt.NoiseSigma, opt.Seed, noiseShared, int64(lvl.Level), -1)
+		res.ProbeCycles += ref.total
+		for pi, pair := range pairs {
+			s := samples[li*stride+1+pi]
+			c := perturbAt(s.avg, opt.NoiseSigma, opt.Seed, noiseShared, int64(lvl.Level), int64(pi))
+			res.ProbeCycles += s.total
+			ratio := ratioVs(c, res.RefCycles)
+			res.Ratios = append(res.Ratios, PairRatio{A: pair[0], B: pair[1], Ratio: ratio})
 			if ratio > opt.RatioThreshold {
-				res.SharedPairs = append(res.SharedPairs, [2]int{pa, pb})
+				res.SharedPairs = append(res.SharedPairs, pair)
 			}
 		}
 		res.Groups = stats.Components(res.SharedPairs)
 		out = append(out, res)
 	}
-	return out
+	return out, nil
+}
+
+// ratioVs returns the concurrent cycle count relative to the isolated
+// reference, guarding the division: a degenerate zero (or negative)
+// reference reports 0 instead of emitting NaN/Inf into the JSON
+// report, mirroring the communication sweep's slowdownVs.
+func ratioVs(concurrent, ref float64) float64 {
+	if ref <= 0 {
+		return 0
+	}
+	return concurrent / ref
 }
 
 // RatioFor returns the measured ratio of a specific pair, or 0 when

@@ -1,6 +1,10 @@
 package core
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
 	"reflect"
 	"testing"
 
@@ -116,6 +120,75 @@ func TestSharedCachesUnicore(t *testing.T) {
 		if lvl.RefCycles <= 0 {
 			t.Errorf("unicore L%d missing reference", lvl.Level)
 		}
+	}
+}
+
+// TestSharedCacheShardedGolden: the sharded (level, pair) sweep must
+// produce a byte-identical result — including the order-sensitive
+// ProbeCycles float sums — at parallelism 1, 2, 4 and NumCPU, with
+// noise off and on. Per-measurement memory-system instances and
+// stateless noise are exactly what make this hold; a shared advancing
+// RNG would break both.
+func TestSharedCacheShardedGolden(t *testing.T) {
+	machines := map[string][]DetectedCache{
+		"smtquad": {
+			{Level: 1, SizeBytes: 32 * topology.KB},
+			{Level: 2, SizeBytes: 1 * topology.MB},
+		},
+		"dempsey": {
+			{Level: 1, SizeBytes: 16 * topology.KB},
+			{Level: 2, SizeBytes: 2 * topology.MB},
+		},
+	}
+	models := map[string]*topology.Machine{
+		"smtquad": topology.SMTQuad(),
+		"dempsey": topology.Dempsey(),
+	}
+	for name, levels := range machines {
+		m := models[name]
+		for _, sigma := range []float64{0, 0.02} {
+			t.Run(fmt.Sprintf("%s/sigma=%g", name, sigma), func(t *testing.T) {
+				assertShardedGolden(t, func(parallelism int) string {
+					opt := Options{Seed: 1, NoiseSigma: sigma, Allocations: 2, Parallelism: parallelism}
+					res, err := SharedCachesContext(context.Background(), m, levels, opt)
+					if err != nil {
+						t.Fatal(err)
+					}
+					data, err := json.Marshal(res)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return string(data)
+				})
+			})
+		}
+	}
+}
+
+// TestSharedCachesCancelledContext: cancelling the context aborts the
+// sharded sweep with context.Canceled.
+func TestSharedCachesCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	m := topology.SMTQuad()
+	levels := []DetectedCache{{Level: 1, SizeBytes: 32 * topology.KB}}
+	if _, err := SharedCachesContext(ctx, m, levels, Options{Seed: 1}); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestRatioGuard: a degenerate zero reference must not emit NaN/Inf
+// ratios into the report (mirror of the communication sweep's
+// slowdownVs guard).
+func TestRatioGuard(t *testing.T) {
+	if got := ratioVs(5, 0); got != 0 {
+		t.Errorf("zero reference: ratio = %g, want 0", got)
+	}
+	if got := ratioVs(0, 0); got != 0 {
+		t.Errorf("all-zero measurement: ratio = %g, want 0", got)
+	}
+	if got := ratioVs(6, 3); got != 2 {
+		t.Errorf("ratio = %g, want 2", got)
 	}
 }
 

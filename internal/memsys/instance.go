@@ -1,8 +1,7 @@
 package memsys
 
 import (
-	"math/rand"
-
+	"servet/internal/stats"
 	"servet/internal/topology"
 )
 
@@ -21,11 +20,27 @@ type Instance struct {
 	spaceSeq  int64
 }
 
+// placementDomain separates the page-placement hash from every other
+// MixKeys consumer (measurement noise folds the same seed and
+// measurement keys), so the placement stream and the noise stream of
+// one measurement are independent.
+const placementDomain int64 = 0x706c6163 // "plac"
+
 // NewInstance builds the memory system of one node. The seed drives
 // the OS page placement (and nothing else), so runs are reproducible.
 func NewInstance(m *topology.Machine, seed int64) *Instance {
+	return NewInstanceAt(m, seed)
+}
+
+// NewInstanceAt builds the memory system of one node with page
+// placement seeded by (seed, keys...): by convention the probe family
+// plus the indices of the measurement the instance serves. Placement
+// inside the instance is stateless — a pure function of the derived
+// placement seed, the space and the virtual page — so every
+// measurement of a sharded sweep gets an identical-by-construction
+// memory system no matter which worker builds it or in what order.
+func NewInstanceAt(m *topology.Machine, seed int64, keys ...int64) *Instance {
 	in := &Instance{m: m}
-	rng := rand.New(rand.NewSource(seed))
 	in.caches = make([][]*cache, len(m.Caches))
 	in.coreCache = make([][]int, len(m.Caches))
 	for li := range m.Caches {
@@ -39,7 +54,8 @@ func NewInstance(m *topology.Machine, seed int64) *Instance {
 			in.coreCache[li][core] = spec.CacheInstance(core)
 		}
 	}
-	in.os = newOSAllocator(rng, m.PhysPagesPerNode, m.PageColoring, colorCount(m))
+	placement := int64(stats.MixKeys(append([]int64{placementDomain, seed}, keys...)...))
+	in.os = newOSAllocator(placement, m.PhysPagesPerNode, m.PageColoring, colorCount(m))
 	in.pref = make([]*prefetcher, m.CoresPerNode)
 	in.tlbs = make([]*tlb, m.CoresPerNode)
 	for i := range in.pref {
@@ -70,11 +86,14 @@ func colorCount(m *topology.Machine) int64 {
 func (in *Instance) Machine() *topology.Machine { return in.m }
 
 // NewSpace creates a fresh address space. Spaces start at staggered
-// virtual bases so allocations in different spaces never alias.
+// virtual bases so allocations in different spaces never alias, and
+// the space's sequence number keys its page placement: the k-th space
+// of any instance with the same placement seed draws the same frames.
 func (in *Instance) NewSpace() *Space {
 	in.spaceSeq++
 	return &Space{
 		in:    in,
+		id:    in.spaceSeq,
 		pages: make(map[int64]int64),
 		nextV: in.spaceSeq << 44,
 	}

@@ -340,6 +340,80 @@ func TestDeterministicAcrossRuns(t *testing.T) {
 	}
 }
 
+// TestNewInstanceAtDeterministicByKeys: two instances built from the
+// same (seed, keys) map every slot to the same frame — the invariant
+// that lets every (level, pair) measurement of a sharded sweep build
+// its memory system independently — while different keys derive
+// different placements.
+func TestNewInstanceAtDeterministicByKeys(t *testing.T) {
+	m := topology.Dempsey()
+	frames := func(in *Instance) []int64 {
+		sp := in.NewSpace()
+		a := sp.Alloc(256 * topology.KB)
+		var out []int64
+		for v := a.Base; v < a.Base+a.Bytes; v += m.PageBytes {
+			out = append(out, sp.translate(v)/m.PageBytes)
+		}
+		return out
+	}
+	a := frames(NewInstanceAt(m, 1, 2, 5, 0))
+	b := frames(NewInstanceAt(m, 1, 2, 5, 0))
+	diffKeys := frames(NewInstanceAt(m, 1, 2, 5, 1))
+	same, diff := true, false
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+		}
+		if a[i] != diffKeys[i] {
+			diff = true
+		}
+	}
+	if !same {
+		t.Error("identical keys placed pages differently")
+	}
+	if !diff {
+		t.Error("different measurement keys drew an identical placement")
+	}
+	// NewInstance is NewInstanceAt with no keys.
+	plain := frames(NewInstance(m, 1))
+	keyless := frames(NewInstanceAt(m, 1))
+	for i := range plain {
+		if plain[i] != keyless[i] {
+			t.Fatal("NewInstance diverges from keyless NewInstanceAt")
+		}
+	}
+}
+
+// TestPlacementIgnoresSiblingSpaces: a space's placement does not
+// depend on allocations other spaces performed earlier in the same
+// instance (the order-dependence the shared advancing RNG used to
+// introduce).
+func TestPlacementIgnoresSiblingSpaces(t *testing.T) {
+	m := topology.Dempsey()
+	secondSpaceFrames := func(warmup int64) []int64 {
+		in := NewInstanceAt(m, 9)
+		first := in.NewSpace()
+		if warmup > 0 {
+			first.Alloc(warmup)
+		}
+		sp := in.NewSpace()
+		a := sp.Alloc(64 * topology.KB)
+		var out []int64
+		for v := a.Base; v < a.Base+a.Bytes; v += m.PageBytes {
+			out = append(out, sp.translate(v)/m.PageBytes)
+		}
+		return out
+	}
+	lean := secondSpaceFrames(0)
+	busy := secondSpaceFrames(512 * topology.KB)
+	for i := range lean {
+		if lean[i] != busy[i] {
+			t.Fatalf("page %d placed at frame %d vs %d depending on a sibling space's allocations",
+				i, lean[i], busy[i])
+		}
+	}
+}
+
 func TestCachedHelper(t *testing.T) {
 	m := topology.Dempsey()
 	in := NewInstance(m, 13)

@@ -2,7 +2,8 @@ package memsys
 
 import (
 	"fmt"
-	"math/rand"
+
+	"servet/internal/stats"
 )
 
 // osAllocator hands out physical page frames. Without coloring it
@@ -11,20 +12,28 @@ import (
 // page color (page set group) congruent with the virtual page's, which
 // makes physically indexed caches behave like virtually indexed ones —
 // the distinction at the heart of the paper's Fig. 4.
+//
+// Placement is stateless: the candidate frames for a (space, vpage)
+// slot are a pure hash chain of (placement seed, space, vpage,
+// attempt), never of how many pages were handed out before. Two
+// allocators built from the same seed therefore map the same slots to
+// the same frames regardless of the order unrelated spaces allocate
+// in, which is what lets every measurement of a sharded sweep build
+// an identical-by-construction memory system.
 type osAllocator struct {
-	rng       *rand.Rand
+	seed      int64
 	physPages int64
 	used      map[int64]bool
 	coloring  bool
 	colors    int64
 }
 
-func newOSAllocator(rng *rand.Rand, physPages int64, coloring bool, colors int64) *osAllocator {
+func newOSAllocator(seed int64, physPages int64, coloring bool, colors int64) *osAllocator {
 	if colors < 1 {
 		colors = 1
 	}
 	return &osAllocator{
-		rng:       rng,
+		seed:      seed,
 		physPages: physPages,
 		used:      make(map[int64]bool),
 		coloring:  coloring,
@@ -32,11 +41,13 @@ func newOSAllocator(rng *rand.Rand, physPages int64, coloring bool, colors int64
 	}
 }
 
-// allocPage returns a free physical page for the given virtual page,
-// honoring the coloring policy. It panics when physical memory is
-// exhausted: the simulated machines are provisioned far beyond what the
-// probes allocate, so exhaustion is a bug in the caller.
-func (o *osAllocator) allocPage(vpage int64) int64 {
+// allocPage returns a free physical page for the given (space, vpage)
+// slot, honoring the coloring policy: the first free frame of the
+// slot's stateless candidate chain wins. It panics when physical
+// memory is exhausted: the simulated machines are provisioned far
+// beyond what the probes allocate, so exhaustion is a bug in the
+// caller.
+func (o *osAllocator) allocPage(space, vpage int64) int64 {
 	if int64(len(o.used)) >= o.physPages {
 		panic("memsys: out of physical pages")
 	}
@@ -46,8 +57,8 @@ func (o *osAllocator) allocPage(vpage int64) int64 {
 		if perColor == 0 {
 			panic(fmt.Sprintf("memsys: %d physical pages cannot host %d colors", o.physPages, o.colors))
 		}
-		for attempt := 0; attempt < 1_000_000; attempt++ {
-			p := color + o.colors*o.rng.Int63n(perColor)
+		for attempt := int64(0); attempt < 1_000_000; attempt++ {
+			p := color + o.colors*stats.MixBound(perColor, o.seed, space, vpage, attempt)
 			if !o.used[p] {
 				o.used[p] = true
 				return p
@@ -55,8 +66,11 @@ func (o *osAllocator) allocPage(vpage int64) int64 {
 		}
 		panic("memsys: colored page pool exhausted")
 	}
-	for {
-		p := o.rng.Int63n(o.physPages)
+	// The chain cannot cycle (every attempt hashes fresh), so with at
+	// least one free frame — guaranteed by the capacity check above —
+	// it terminates.
+	for attempt := int64(0); ; attempt++ {
+		p := stats.MixBound(o.physPages, o.seed, space, vpage, attempt)
 		if !o.used[p] {
 			o.used[p] = true
 			return p
@@ -69,9 +83,12 @@ func (o *osAllocator) freePage(p int64) { delete(o.used, p) }
 
 // Space is a process address space: a private virtual address range
 // with its own page table. Each probe process (thread) of the suite
-// runs in its own space.
+// runs in its own space. The space's id feeds the placement hash, so
+// the k-th space of an instance always draws the same frame candidates
+// for a given virtual page.
 type Space struct {
 	in    *Instance
+	id    int64
 	pages map[int64]int64 // vpage -> ppage
 	nextV int64
 }
@@ -98,7 +115,7 @@ func (sp *Space) Alloc(bytes int64) *Array {
 	npages := (bytes + ps - 1) / ps
 	for i := int64(0); i < npages; i++ {
 		vpage := base/ps + i
-		sp.pages[vpage] = sp.in.os.allocPage(vpage)
+		sp.pages[vpage] = sp.in.os.allocPage(sp.id, vpage)
 	}
 	// Leave a guard page between allocations.
 	sp.nextV = base + (npages+1)*ps

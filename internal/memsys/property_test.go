@@ -140,7 +140,7 @@ func TestFairShareMonotoneDegradation(t *testing.T) {
 func TestPageAllocatorUniqueFramesProperty(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
-		o := newOSAllocator(rng, 64, false, 1)
+		o := newOSAllocator(seed, 64, false, 1)
 		held := map[int64]bool{}
 		var frames []int64
 		for i := 0; i < 500; i++ {
@@ -152,12 +152,46 @@ func TestPageAllocatorUniqueFramesProperty(t *testing.T) {
 				frames = append(frames[:k], frames[k+1:]...)
 				continue
 			}
-			p := o.allocPage(int64(i))
+			p := o.allocPage(1, int64(i))
 			if held[p] || p < 0 || p >= 64 {
 				return false
 			}
 			held[p] = true
 			frames = append(frames, p)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPageAllocatorStatelessPlacement: the frame a (space, vpage) slot
+// receives is a pure function of the placement seed and the slot — not
+// of what other spaces allocated before — as long as no collision
+// forces a retry (the pool here is far larger than the demand).
+func TestPageAllocatorStatelessPlacement(t *testing.T) {
+	f := func(seed int64) bool {
+		a := newOSAllocator(seed, 1<<20, false, 1)
+		b := newOSAllocator(seed, 1<<20, false, 1)
+		// a: space 1 pages first, then space 2; b: the reverse order.
+		var a1, b1 []int64
+		for v := int64(0); v < 32; v++ {
+			a1 = append(a1, a.allocPage(1, v))
+		}
+		for v := int64(0); v < 32; v++ {
+			a.allocPage(2, v)
+		}
+		for v := int64(0); v < 32; v++ {
+			b.allocPage(2, v)
+		}
+		for v := int64(0); v < 32; v++ {
+			b1 = append(b1, b.allocPage(1, v))
+		}
+		for i := range a1 {
+			if a1[i] != b1[i] {
+				return false
+			}
 		}
 		return true
 	}

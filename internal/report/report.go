@@ -76,6 +76,11 @@ type ProbeProvenance struct {
 	// Timestamp is when the section was measured (preserved across
 	// cache restores: a cached section keeps its measurement time).
 	Timestamp time.Time `json:"timestamp"`
+	// Wall is the host wall-clock time the probe's measurement took.
+	// Like Timestamp it is preserved across cache restores — a cached
+	// section reports the cost of the run that measured it — so users
+	// can see which probes intra-probe sharding actually sped up.
+	Wall time.Duration `json:"wall_ns"`
 }
 
 // CacheResult describes one detected cache level.

@@ -42,7 +42,8 @@ func sampleReport() *Report {
 		Fingerprint: "sha256:0011223344556677",
 		Provenance: []ProbeProvenance{
 			{Probe: "cache-size", Status: ProvenanceCached, OptionsDigest: "abcd",
-				Timestamp: time.Date(2026, 7, 1, 12, 0, 0, 0, time.UTC)},
+				Timestamp: time.Date(2026, 7, 1, 12, 0, 0, 0, time.UTC),
+				Wall:      250 * time.Millisecond},
 		},
 	}
 }
@@ -80,7 +81,8 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	}
 	p := got.ProvenanceFor("cache-size")
 	if p == nil || p.Status != ProvenanceCached || p.OptionsDigest != "abcd" ||
-		!p.Timestamp.Equal(r.Provenance[0].Timestamp) {
+		!p.Timestamp.Equal(r.Provenance[0].Timestamp) ||
+		p.Wall != 250*time.Millisecond {
 		t.Errorf("provenance mismatch: %+v", p)
 	}
 	if got.ProvenanceFor("no-such-probe") != nil {

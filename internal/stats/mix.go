@@ -23,3 +23,17 @@ func MixKeys(keys ...int64) uint64 {
 	}
 	return h
 }
+
+// MixBound folds the key sequence and maps the result uniformly onto
+// [0, n) — the stateless analogue of rand.Int63n for hash-derived
+// draws (the modulo bias is negligible for the suite's bounds, which
+// sit far below 2^63). The memory system's OS page allocator draws
+// frame candidates from it, keyed by (placement seed, space, vpage,
+// attempt), so page placement is a pure function of what is being
+// placed rather than of allocation history.
+func MixBound(n int64, keys ...int64) int64 {
+	if n <= 0 {
+		panic("stats: MixBound needs a positive bound")
+	}
+	return int64(MixKeys(keys...) % uint64(n))
+}

@@ -25,6 +25,32 @@ func TestMix64Deterministic(t *testing.T) {
 	}
 }
 
+func TestMixBound(t *testing.T) {
+	// In range, deterministic, and roughly uniform over a small bound.
+	counts := make([]int, 7)
+	for i := int64(0); i < 7000; i++ {
+		v := MixBound(7, 42, i)
+		if v < 0 || v >= 7 {
+			t.Fatalf("MixBound(7, 42, %d) = %d out of range", i, v)
+		}
+		if v != MixBound(7, 42, i) {
+			t.Fatal("MixBound not deterministic")
+		}
+		counts[v]++
+	}
+	for v, n := range counts {
+		if n < 700 || n > 1300 {
+			t.Errorf("value %d drawn %d/7000 times, want ~1000", v, n)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("non-positive bound accepted")
+		}
+	}()
+	MixBound(0, 1)
+}
+
 func TestMixKeysOrderSensitive(t *testing.T) {
 	if MixKeys(1, 2) == MixKeys(2, 1) {
 		t.Error("MixKeys must distinguish key order")

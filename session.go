@@ -204,14 +204,23 @@ func (s *Session) Run(ctx context.Context, probes ...string) (*Report, error) {
 	rep.Schema = report.CurrentSchema
 	rep.Fingerprint = s.fingerprint
 	now := time.Now().UTC()
+	wall := make(map[string]time.Duration, len(rep.Timings))
+	for _, tm := range rep.Timings {
+		wall[tm.Stage] = tm.Wall
+	}
 	for _, name := range closure {
 		prov := report.ProbeProvenance{Probe: name, OptionsDigest: digests[name]}
 		if fresh[name] {
+			// A restored section keeps the measurement time and cost of
+			// the run that produced it.
+			orig := cached.ProvenanceFor(name)
 			prov.Status = report.ProvenanceCached
-			prov.Timestamp = cached.ProvenanceFor(name).Timestamp
+			prov.Timestamp = orig.Timestamp
+			prov.Wall = orig.Wall
 		} else {
 			prov.Status = report.ProvenanceRan
 			prov.Timestamp = now
+			prov.Wall = wall[name]
 		}
 		rep.Provenance = append(rep.Provenance, prov)
 	}
@@ -294,6 +303,7 @@ func (s *Session) carryLeftovers(rep, cached *Report, closure []string, digests 
 			Status:        report.ProvenanceCached,
 			OptionsDigest: prov.OptionsDigest,
 			Timestamp:     prov.Timestamp,
+			Wall:          prov.Wall,
 		})
 	}
 	if len(carried) > 0 {

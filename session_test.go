@@ -26,6 +26,7 @@ func canonicalJSON(t *testing.T, r *servet.Report) string {
 	}
 	for i := range cp.Provenance {
 		cp.Provenance[i].Timestamp = time.Time{}
+		cp.Provenance[i].Wall = 0
 	}
 	data, err := json.MarshalIndent(cp, "", "  ")
 	if err != nil {
@@ -99,6 +100,9 @@ func TestSessionRunStampsProvenance(t *testing.T) {
 		}
 		if p.OptionsDigest == "" || p.Timestamp.IsZero() {
 			t.Errorf("%s: incomplete provenance %+v", p.Probe, p)
+		}
+		if p.Wall <= 0 {
+			t.Errorf("%s: no wall-clock duration recorded", p.Probe)
 		}
 	}
 }
@@ -182,9 +186,16 @@ func TestSessionIncrementalRerun(t *testing.T) {
 		t.Errorf("incremental report diverges from fresh run:\n%s\nvs\n%s",
 			measuredJSON(t, third), measuredJSON(t, fresh))
 	}
-	// Cached sections keep their original measurement timestamps.
+	// Cached sections keep their original measurement timestamps and
+	// wall-clock costs.
 	if !third.ProvenanceFor("cache-size").Timestamp.Equal(first.ProvenanceFor("cache-size").Timestamp) {
 		t.Error("cached section lost its measurement timestamp")
+	}
+	if third.ProvenanceFor("cache-size").Wall != first.ProvenanceFor("cache-size").Wall {
+		t.Error("cached section lost its measurement wall-clock cost")
+	}
+	if third.ProvenanceFor("cache-size").Wall <= 0 {
+		t.Error("measured section recorded no wall-clock cost")
 	}
 
 	// Change a cache-size option: the probe and both dependents
