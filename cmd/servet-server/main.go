@@ -1,0 +1,92 @@
+// Command servet-server runs the probe-registry server: an HTTP
+// service storing Servet reports keyed by machine fingerprint,
+// serving them to autotuners across a cluster, and running the probe
+// engine on demand for fingerprints it has no fresh results for.
+// Identical concurrent run requests coalesce into one engine
+// execution.
+//
+// Nodes connect with servet.WithRemoteCache (or cmd/servet
+// -cache-url), or speak the HTTP API directly:
+//
+//	GET  /v1/reports                          list stored reports
+//	GET  /v1/reports/{fp}                     one machine's report
+//	PUT  /v1/reports/{fp}                     publish a measured report
+//	GET  /v1/reports/{fp}/probes/{probe}      one probe's section
+//	POST /v1/run                              run stale probes on demand
+//	GET  /v1/stats                            run counters
+//	GET  /healthz                             liveness
+//
+// Usage:
+//
+//	servet-server -addr :8077 -store /var/lib/servet/reports
+//	servet-server -addr :8077 -parallel 4      # in-memory store
+//
+// With -store the registry persists into a directory of
+// per-fingerprint JSON files — the same layout servet.DirCache
+// writes, so a sweep's cache directory can be served as-is and every
+// stored entry doubles as an install-time parameter file. Without it,
+// entries live in memory and vanish on restart.
+//
+// SIGINT/SIGTERM shut the server down gracefully: in-flight requests
+// finish, in-flight probe runs are cancelled.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"servet/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8077", "listen address")
+		storeDir = flag.String("store", "", "directory for per-fingerprint report files (empty: in-memory store)")
+		parallel = flag.Int("parallel", 1, "worker count for on-demand probe runs (reports are identical at any value)")
+	)
+	flag.Parse()
+
+	var store server.Store = server.NewMemStore()
+	kind := "in-memory"
+	if *storeDir != "" {
+		store = server.NewDirStore(*storeDir)
+		kind = fmt.Sprintf("directory %s", *storeDir)
+	}
+
+	// The base context cancels in-flight probe runs on shutdown.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	reg := server.New(store,
+		server.WithParallelism(*parallel),
+		server.WithBaseContext(ctx),
+	)
+	srv := &http.Server{Addr: *addr, Handler: reg}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("servet-server: listening on %s (%s store, parallelism %d)", *addr, kind, *parallel)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		log.Fatalf("servet-server: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("servet-server: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("servet-server: shutdown: %v", err)
+	}
+}

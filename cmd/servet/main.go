@@ -5,12 +5,16 @@
 //
 // With -cache the report file doubles as an incremental probe cache:
 // re-runs restore every probe whose options (and machine) are
-// unchanged and execute only the stale ones.
+// unchanged and execute only the stale ones. With -cache-url the
+// cache is a cluster-shared probe registry (cmd/servet-server)
+// instead: nodes with the same hardware fingerprint measure once.
+// The two are mutually exclusive.
 //
 // Usage:
 //
 //	servet -machine dunnington -out servet.json
 //	servet -machine dunnington -cache servet.json   # incremental re-runs
+//	servet -machine dunnington -cache-url http://head-node:8077
 //	servet -machine finisterrae -nodes 2 -seed 3 -noise 0.01
 //	servet -machine dunnington -probes cache-size,tlb -parallel 4
 package main
@@ -34,6 +38,7 @@ func main() {
 		nodes      = flag.Int("nodes", 2, "cluster nodes for multi-node models")
 		out        = flag.String("out", "", "write the JSON report to this path")
 		cachePath  = flag.String("cache", "", "incremental cache file: restore fresh probes from it and store the merged report back")
+		cacheURL   = flag.String("cache-url", "", "probe-registry URL (servet-server): restore fresh probes from the cluster-shared cache and publish the merged report back")
 		seed       = flag.Int64("seed", 1, "seed for page placement and noise")
 		noise      = flag.Float64("noise", 0, "relative measurement noise (e.g. 0.02)")
 		quick      = flag.Bool("quick", false, "fewer repetitions (faster, less precise)")
@@ -73,8 +78,25 @@ func main() {
 	if *quick {
 		opts = append(opts, servet.WithQuick())
 	}
+	if *cachePath != "" && *cacheURL != "" {
+		fmt.Fprintln(os.Stderr, "servet: -cache and -cache-url are mutually exclusive: pick the local file or the registry, not both")
+		os.Exit(2)
+	}
 	if *cachePath != "" {
 		opts = append(opts, servet.WithCacheFile(*cachePath))
+	}
+	// The RemoteCache is built here rather than via WithRemoteCache so
+	// the final status line can tell whether the publish actually
+	// reached the registry (Store swallows network errors by design).
+	var remote *servet.RemoteCache
+	if *cacheURL != "" {
+		rc, err := servet.NewRemoteCache(*cacheURL)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "servet: %v\n", err)
+			os.Exit(2)
+		}
+		remote = rc
+		opts = append(opts, servet.WithCache(rc))
 	}
 
 	var names []string
@@ -112,6 +134,13 @@ func main() {
 	}
 	if *cachePath != "" {
 		fmt.Printf("\ncache file %s updated (machine fingerprint %s)\n", *cachePath, ses.Fingerprint())
+	}
+	if remote != nil {
+		if remote.SkippedStores() > 0 {
+			fmt.Fprintf(os.Stderr, "\nservet: warning: registry %s unreachable — report measured locally but NOT published\n", *cacheURL)
+		} else {
+			fmt.Printf("\nregistry %s updated (machine fingerprint %s)\n", *cacheURL, ses.Fingerprint())
+		}
 	}
 	if *out != "" {
 		if err := rep.Save(*out); err != nil {

@@ -242,10 +242,10 @@ func DetectCacheSizes(cal Calibration, pageBytes int64, opt Options) []DetectedC
 // the refined series. Physically indexed caches with few page sets
 // (small capacities) give noisy single-allocation miss rates; the
 // refinement buys the estimator the statistics it needs.
-func DetectCaches(in *memsys.Instance, coreID int, opt Options) ([]DetectedCache, Calibration) {
-	opt = opt.withDefaults(in.Machine())
-	cal := Mcalibrator(in, coreID, opt)
-	pageBytes := in.Machine().PageBytes
+func DetectCaches(m *topology.Machine, coreID int, opt Options) ([]DetectedCache, Calibration) {
+	opt = opt.withDefaults(m)
+	cal := Mcalibrator(m, coreID, opt)
+	pageBytes := m.PageBytes
 	g := stats.Gradient(cal.Cycles)
 
 	var out []DetectedCache
@@ -262,7 +262,7 @@ func DetectCaches(in *memsys.Instance, coreID int, opt Options) ([]DetectedCache
 			})
 		default:
 			loIdx, hiIdx := transitionWindow(g, run, opt.GradientThreshold, len(cal.Sizes))
-			sizes, cycles := refineWindow(in, coreID, &cal, opt, loIdx, hiIdx)
+			sizes, cycles := refineWindow(m, coreID, &cal, opt, loIdx, hiIdx)
 			size := ProbabilisticSize(sizes, cycles, pageBytes)
 			if size == 0 {
 				continue
@@ -277,10 +277,12 @@ func DetectCaches(in *memsys.Instance, coreID int, opt Options) ([]DetectedCache
 
 // refineWindow re-measures a transition window on a denser size grid
 // (grid points plus page-aligned midpoints) with 3x the allocations,
-// returning the refined series. Probe cost is accounted into the
-// calibration.
-func refineWindow(in *memsys.Instance, coreID int, cal *Calibration, opt Options, loIdx, hiIdx int) ([]int64, []float64) {
-	pageBytes := in.Machine().PageBytes
+// returning the refined series. Each (size, allocation) builds its own
+// memory-system instance keyed under the refinement's own family, so
+// refined measurements never alias the grid sweep's placements. Probe
+// cost is accounted into the calibration.
+func refineWindow(m *topology.Machine, coreID int, cal *Calibration, opt Options, loIdx, hiIdx int) ([]int64, []float64) {
+	pageBytes := m.PageBytes
 	var sizes []int64
 	for i := loIdx; i <= hiIdx; i++ {
 		sizes = append(sizes, cal.Sizes[i])
@@ -293,16 +295,19 @@ func refineWindow(in *memsys.Instance, coreID int, cal *Calibration, opt Options
 		}
 	}
 	allocs := 3 * opt.Allocations
-	sp := in.NewSpace()
 	cycles := make([]float64, len(sizes))
 	for i, size := range sizes {
 		sum := 0.0
 		for a := 0; a < allocs; a++ {
-			in.ResetCaches()
+			// The window's loIdx joins the key: indices are local to the
+			// window, and without it a second smeared transition (an L3
+			// behind a fuzzy L2) would replay the first window's
+			// placement stream instead of drawing independent samples.
+			in := memsys.NewInstanceAt(m, opt.Seed, noiseMcalRefine, int64(coreID), int64(loIdx), int64(i), int64(a))
+			sp := in.NewSpace()
 			arr := sp.Alloc(size)
 			avg, total := traverse(in, coreID, sp, arr, opt.StrideBytes, opt.Passes)
 			cal.ProbeCycles += total
-			sp.Free(arr)
 			sum += avg
 		}
 		cycles[i] = sum / float64(allocs)

@@ -1,9 +1,12 @@
 package core
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
 	"testing"
 
-	"servet/internal/memsys"
 	"servet/internal/topology"
 )
 
@@ -21,8 +24,7 @@ var expectedCaches = map[string][]int64{
 
 func detect(t *testing.T, m *topology.Machine, seed int64) []DetectedCache {
 	t.Helper()
-	in := memsys.NewInstance(m, seed)
-	det, _ := DetectCaches(in, 0, Options{Seed: seed})
+	det, _ := DetectCaches(m, 0, Options{Seed: seed})
 	return det
 }
 
@@ -119,9 +121,8 @@ func TestRandomPlacementUsesProbabilisticPath(t *testing.T) {
 // Dempsey, while the probabilistic algorithm reports the correct 2 MB.
 func TestNaiveEstimatorFailsOnDempsey(t *testing.T) {
 	m := topology.Dempsey()
-	in := memsys.NewInstance(m, 1)
 	opt := Options{Seed: 1}
-	cal := Mcalibrator(in, 0, opt)
+	cal := Mcalibrator(m, 0, opt)
 	naive := NaiveCacheSizes(cal, opt)
 	if len(naive) < 2 {
 		t.Fatalf("naive found %d levels", len(naive))
@@ -207,13 +208,59 @@ func TestDedupLevels(t *testing.T) {
 	}
 }
 
+// TestMcalibratorShardedGolden: the sharded size-grid sweep must
+// produce a byte-identical calibration — including the order-sensitive
+// ProbeCycles float sum — at parallelism 1, 2, 4 and NumCPU, with
+// noise off and on. Per-(size, allocation) memory-system instances and
+// stateless noise are exactly what make this hold.
+func TestMcalibratorShardedGolden(t *testing.T) {
+	models := map[string]*topology.Machine{
+		"dempsey": topology.Dempsey(),
+		"smtquad": topology.SMTQuad(),
+	}
+	for name, m := range models {
+		for _, sigma := range []float64{0, 0.02} {
+			t.Run(fmt.Sprintf("%s/sigma=%g", name, sigma), func(t *testing.T) {
+				assertShardedGolden(t, func(parallelism int) string {
+					opt := Options{
+						Seed: 1, NoiseSigma: sigma, Allocations: 2,
+						MaxCacheBytes: 4 * topology.MB, Parallelism: parallelism,
+					}
+					cal, err := McalibratorContext(context.Background(), m, 0, opt)
+					if err != nil {
+						t.Fatal(err)
+					}
+					data, err := json.Marshal(struct {
+						Sizes       []int64
+						Cycles      []float64
+						ProbeCycles float64
+					}{cal.Sizes, cal.Cycles, cal.ProbeCycles})
+					if err != nil {
+						t.Fatal(err)
+					}
+					return string(data)
+				})
+			})
+		}
+	}
+}
+
+// TestMcalibratorCancelledContext: cancelling the context aborts the
+// sharded grid sweep with context.Canceled.
+func TestMcalibratorCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := McalibratorContext(ctx, topology.Dempsey(), 0, Options{Seed: 1}); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
 // TestMcalibratorShape checks Fig. 2's qualitative shape on Dempsey:
 // flat at the L1 hit cost, a sharp jump past 16 KB, and a smeared rise
 // around the 2 MB L2.
 func TestMcalibratorShape(t *testing.T) {
 	m := topology.Dempsey()
-	in := memsys.NewInstance(m, 1)
-	cal := Mcalibrator(in, 0, Options{Seed: 1})
+	cal := Mcalibrator(m, 0, Options{Seed: 1})
 	at := func(size int64) float64 {
 		for i, s := range cal.Sizes {
 			if s == size {
@@ -244,8 +291,7 @@ func TestMcalibratorShape(t *testing.T) {
 func TestMcalibratorStrideDefeatsPrefetcher(t *testing.T) {
 	m := topology.Dempsey()
 	gradAt16K := func(stride int64) float64 {
-		in := memsys.NewInstance(m, 1)
-		cal := Mcalibrator(in, 0, Options{Seed: 1, StrideBytes: stride, MaxCacheBytes: 128 * topology.KB})
+		cal := Mcalibrator(m, 0, Options{Seed: 1, StrideBytes: stride, MaxCacheBytes: 128 * topology.KB})
 		for i, s := range cal.Sizes {
 			if s == 16*topology.KB {
 				return cal.Cycles[i+1] / cal.Cycles[i]

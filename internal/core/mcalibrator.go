@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"servet/internal/memsys"
 	"servet/internal/topology"
 )
@@ -34,31 +36,73 @@ func SizeGrid(min, max int64) []int64 {
 	return sizes
 }
 
+// mcalSample is one raw mcalibrator measurement: the mean cycles per
+// access over a size's allocations and the total simulated cost of
+// every access issued.
+type mcalSample struct {
+	avg   float64
+	total float64
+}
+
 // Mcalibrator measures the average access cost of strided traversals
-// over the size grid, on one core of the instance. Each size is
-// measured on opt.Allocations freshly allocated arrays (new page
-// placement each time — physically indexed caches behave
-// probabilistically, so one mapping is one sample) with one warm-up
-// traversal (the array initialization of Fig. 1 warms the cache) and
-// opt.Passes measured traversals.
-func Mcalibrator(in *memsys.Instance, core int, opt Options) Calibration {
-	opt = opt.withDefaults(in.Machine())
-	sizes := SizeGrid(opt.MinCacheBytes, opt.MaxCacheBytes)
-	cal := Calibration{Sizes: sizes, Cycles: make([]float64, len(sizes))}
-	sp := in.NewSpace()
-	for i, size := range sizes {
-		sum := 0.0
-		for alloc := 0; alloc < opt.Allocations; alloc++ {
-			in.ResetCaches()
-			a := sp.Alloc(size)
-			avg, total := traverse(in, core, sp, a, opt.StrideBytes, opt.Passes)
-			cal.ProbeCycles += total
-			sp.Free(a)
-			sum += avg
-		}
-		cal.Cycles[i] = perturbAt(sum/float64(opt.Allocations), opt.NoiseSigma, opt.Seed, noiseMcal, int64(core), int64(i))
+// over the size grid, on one core of the machine. It is
+// McalibratorContext without cancellation.
+func Mcalibrator(m *topology.Machine, core int, opt Options) Calibration {
+	cal, err := McalibratorContext(context.Background(), m, core, opt)
+	if err != nil {
+		// The background context cannot be cancelled and the
+		// measurements themselves never fail, so this is unreachable.
+		panic("core: mcalibrator sweep failed without cancellation: " + err.Error())
 	}
 	return cal
+}
+
+// McalibratorContext runs the Fig. 1 calibration loop with its size
+// grid sharded over the engine's scheduler: sizes are independent
+// measurements, so each (size, allocation) builds its own
+// memory-system instance via memsys.NewInstanceAt, seeded from (Seed,
+// probe family, core, size index, allocation) — identical by
+// construction no matter which worker measures it or in what order.
+// Each size is measured on opt.Allocations freshly placed arrays
+// (physically indexed caches behave probabilistically, so one mapping
+// is one sample) with one warm-up traversal (the array initialization
+// of Fig. 1 warms the cache) and opt.Passes measured traversals.
+// Workers record raw cycle counts into disjoint slots; the
+// order-sensitive ProbeCycles float sum and the stateless noise
+// perturbation happen in a sequential merge in size order, so the
+// calibration is byte-identical at any Options.Parallelism.
+func McalibratorContext(ctx context.Context, m *topology.Machine, core int, opt Options) (Calibration, error) {
+	opt = opt.withDefaults(m)
+	sizes := SizeGrid(opt.MinCacheBytes, opt.MaxCacheBytes)
+	samples, err := sweep(ctx, "mcal", len(sizes), opt.Parallelism, func(i int) (mcalSample, error) {
+		var s mcalSample
+		for alloc := 0; alloc < opt.Allocations; alloc++ {
+			// Each allocation is a full traversal; keep cancellation at
+			// that granularity.
+			if err := ctx.Err(); err != nil {
+				return mcalSample{}, err
+			}
+			in := memsys.NewInstanceAt(m, opt.Seed, noiseMcal, int64(core), int64(i), int64(alloc))
+			sp := in.NewSpace()
+			a := sp.Alloc(sizes[i])
+			avg, total := traverse(in, core, sp, a, opt.StrideBytes, opt.Passes)
+			s.avg += avg
+			s.total += total
+		}
+		s.avg /= float64(opt.Allocations)
+		return s, nil
+	})
+	if err != nil {
+		return Calibration{}, err
+	}
+
+	// Sequential merge in size order.
+	cal := Calibration{Sizes: sizes, Cycles: make([]float64, len(sizes))}
+	for i, s := range samples {
+		cal.ProbeCycles += s.total
+		cal.Cycles[i] = perturbAt(s.avg, opt.NoiseSigma, opt.Seed, noiseMcal, int64(core), int64(i))
+	}
+	return cal, nil
 }
 
 // traverse walks the array with the probe stride: one warm-up pass and

@@ -145,6 +145,10 @@ const (
 	noiseShared
 	noiseMemory
 	noiseComm
+	// noiseMcalRefine is the refined-window re-measurement's family:
+	// refined sizes are indexed by window position, so they need a
+	// domain of their own to never collide with the grid sweep's keys.
+	noiseMcalRefine
 )
 
 // Measurement kinds within the communication-costs family.

@@ -32,9 +32,24 @@ type cacheSizeOutput struct {
 // cost) of the original suite. Shared by Suite.DetectCaches and the
 // cache-size probe.
 func calibrateAndDetect(m *topology.Machine, opt Options) ([]DetectedCache, Calibration) {
-	in := memsys.NewInstance(m, opt.Seed)
-	cal := Mcalibrator(in, 0, opt)
-	return DetectCacheSizes(cal, m.PageBytes, opt), cal
+	det, cal, err := calibrateAndDetectContext(context.Background(), m, opt)
+	if err != nil {
+		// The background context cannot be cancelled and the
+		// measurements themselves never fail, so this is unreachable.
+		panic("core: calibration failed without cancellation: " + err.Error())
+	}
+	return det, cal
+}
+
+// calibrateAndDetectContext is the ctx-aware calibrateAndDetect the
+// probe engine runs: the sharded mcalibrator grid aborts between
+// measurements when the context is cancelled.
+func calibrateAndDetectContext(ctx context.Context, m *topology.Machine, opt Options) ([]DetectedCache, Calibration, error) {
+	cal, err := McalibratorContext(ctx, m, 0, opt)
+	if err != nil {
+		return nil, Calibration{}, err
+	}
+	return DetectCacheSizes(cal, m.PageBytes, opt), cal, nil
 }
 
 // cacheSizeProbe runs mcalibrator on core 0 and the Fig. 4 driver
@@ -45,7 +60,10 @@ func (cacheSizeProbe) Name() string   { return probeCacheSize }
 func (cacheSizeProbe) Deps() []string { return nil }
 
 func (cacheSizeProbe) Run(ctx context.Context, env *Env) (Partial, error) {
-	levels, cal := calibrateAndDetect(env.Machine, env.Opt)
+	levels, cal, err := calibrateAndDetectContext(ctx, env.Machine, env.Opt)
+	if err != nil {
+		return Partial{}, err
+	}
 	if len(levels) == 0 {
 		return Partial{}, &NoCacheLevelsError{Machine: env.Machine.Name}
 	}

@@ -49,20 +49,21 @@ func (s *Suite) DetectCaches() ([]DetectedCache, Calibration) {
 // in-suite probe uses the plain pipeline of DetectCaches (method on
 // Suite), whose probe-cost accounting Table I pins.
 func (s *Suite) DetectCachesRefined() ([]DetectedCache, Calibration) {
-	return DetectCaches(memsys.NewInstance(s.m, s.opt.Seed), 0, s.opt)
+	return DetectCaches(s.m, 0, s.opt)
 }
 
-// Mcalibrator runs the raw calibration loop of Fig. 1 on one core of
-// a fresh memory-system instance.
+// Mcalibrator runs the raw calibration loop of Fig. 1 on one core,
+// each measurement against its own per-(size, allocation)
+// memory-system instance.
 func (s *Suite) Mcalibrator(coreID int) Calibration {
-	return Mcalibrator(memsys.NewInstance(s.m, s.opt.Seed), coreID, s.opt)
+	return Mcalibrator(s.m, coreID, s.opt)
 }
 
 // CalibrateCores runs the Fig. 1 calibration loop on each of the given
 // node-local cores (no cores means all of them), fanning the per-core
 // runs over the engine's scheduler under Options.Parallelism. Each
-// core calibrates against its own fresh memory-system instance —
-// exactly what Mcalibrator builds per call — so the results are
+// measurement builds its own memory-system instance from stable keys —
+// exactly what Mcalibrator does per call — so the results are
 // identical to a sequential per-core loop at any parallelism.
 // Calibrations come back in the order the cores were given.
 func (s *Suite) CalibrateCores(ctx context.Context, cores ...int) ([]Calibration, error) {
@@ -86,10 +87,11 @@ func (s *Suite) CalibrateCores(ctx context.Context, cores ...int) ([]Calibration
 			// names unique.
 			Name: fmt.Sprintf("mcal:%d:%d", i, c),
 			Run: func(ctx context.Context) error {
-				if err := ctx.Err(); err != nil {
+				cal, err := McalibratorContext(ctx, s.m, c, s.opt)
+				if err != nil {
 					return err
 				}
-				cals[i] = Mcalibrator(memsys.NewInstance(s.m, s.opt.Seed), c, s.opt)
+				cals[i] = cal
 				return nil
 			},
 		}

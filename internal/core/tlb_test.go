@@ -38,8 +38,7 @@ func TestDetectTLBAbsentOnPlainMachines(t *testing.T) {
 // cost stays below the gradient threshold.
 func TestTLBDoesNotPerturbCacheDetection(t *testing.T) {
 	m := topology.TLBBox()
-	in := memsys.NewInstance(m, 1)
-	det, _ := DetectCaches(in, 0, Options{Seed: 1})
+	det, _ := DetectCaches(m, 0, Options{Seed: 1})
 	if len(det) != 1 || det[0].SizeBytes != 64*topology.KB {
 		t.Errorf("detected = %+v, want a single 64 KB level", det)
 	}

@@ -26,8 +26,7 @@ func calOptions(o Opt, m *topology.Machine) core.Options {
 func fig2a(o Opt) (*Result, error) {
 	res := &Result{XLabel: "array bytes", YLabel: "cycles/access"}
 	for _, m := range []*topology.Machine{topology.Dempsey(), topology.Dunnington()} {
-		in := memsys.NewInstance(m, o.seed())
-		cal := core.Mcalibrator(in, 0, calOptions(o, m))
+		cal := core.Mcalibrator(m, 0, calOptions(o, m))
 		s := Series{Name: m.Name}
 		for i := range cal.Sizes {
 			s.X = append(s.X, float64(cal.Sizes[i]))

@@ -5,7 +5,6 @@ import (
 	"time"
 
 	"servet/internal/core"
-	"servet/internal/memsys"
 	"servet/internal/report"
 	"servet/internal/topology"
 )
@@ -27,8 +26,7 @@ func sectionIVA(o Opt) (*Result, error) {
 	var rows [][]string
 	matches, total := 0, 0
 	for _, m := range machines {
-		in := memsys.NewInstance(m, o.seed())
-		det, _ := core.DetectCaches(in, 0, calOptions(o, m))
+		det, _ := core.DetectCaches(m, 0, calOptions(o, m))
 		spec := specs[m.Name]
 		for i, want := range spec {
 			got := int64(0)
@@ -108,11 +106,10 @@ func ablationStride(o Opt) (*Result, error) {
 	res := &Result{XLabel: "array bytes", YLabel: "cycles/access"}
 	var rows [][]string
 	for _, stride := range []int64{256, 512, 1024} {
-		in := memsys.NewInstance(m, o.seed())
 		opt := calOptions(o, m)
 		opt.StrideBytes = stride
 		opt.MaxCacheBytes = 256 * topology.KB
-		cal := core.Mcalibrator(in, 0, opt)
+		cal := core.Mcalibrator(m, 0, opt)
 		s := Series{Name: fmt.Sprintf("stride %dB", stride)}
 		for i := range cal.Sizes {
 			s.X = append(s.X, float64(cal.Sizes[i]))
@@ -148,11 +145,10 @@ func ablationNaive(o Opt) (*Result, error) {
 	var rows [][]string
 	res := &Result{}
 	for _, m := range []*topology.Machine{topology.Dempsey(), topology.Dunnington()} {
-		in := memsys.NewInstance(m, o.seed())
 		opt := calOptions(o, m)
-		cal := core.Mcalibrator(in, 0, opt)
+		cal := core.Mcalibrator(m, 0, opt)
 		naive := core.NaiveCacheSizes(cal, opt)
-		full, _ := core.DetectCaches(in, 0, opt)
+		full, _ := core.DetectCaches(m, 0, opt)
 		spec := specs[m.Name]
 		for i, want := range spec {
 			n, f := int64(0), int64(0)

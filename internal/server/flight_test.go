@@ -1,0 +1,68 @@
+package server
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"servet/internal/report"
+)
+
+// TestFlightGroupPanicReleasesWaiters: a panicking leader must not
+// wedge the key — cleanup is deferred, so waiters are released (with
+// errRunPanicked) and the next call for the key starts fresh instead
+// of coalescing onto a dead flight. (Plain coalescing is covered at
+// the HTTP level by TestRunCoalescesConcurrentRequests.)
+func TestFlightGroupPanicReleasesWaiters(t *testing.T) {
+	var g flightGroup
+	started := make(chan struct{})
+	waiterReady := make(chan struct{})
+
+	var wg sync.WaitGroup
+	var waiterShared bool
+	var waiterErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-started // the panicking flight is registered before we queue
+		close(waiterReady)
+		_, waiterShared, waiterErr = g.do("k", func() (*report.Report, error) {
+			// Only reached if the leader's cleanup won the race before
+			// this call — then running fresh is the correct behavior.
+			return nil, nil
+		})
+	}()
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("panic did not propagate to the leader")
+			}
+		}()
+		g.do("k", func() (*report.Report, error) {
+			close(started)
+			<-waiterReady
+			// Give the waiter a beat to park on the flight; if it does
+			// not make it, the tolerant assertions below still hold.
+			time.Sleep(10 * time.Millisecond)
+			panic("probe engine bug")
+		})
+	}()
+	wg.Wait()
+
+	if waiterShared && !errors.Is(waiterErr, errRunPanicked) {
+		t.Errorf("coalesced waiter err = %v, want errRunPanicked", waiterErr)
+	}
+	if !waiterShared && waiterErr != nil {
+		t.Errorf("fresh waiter err = %v", waiterErr)
+	}
+
+	// The key is free again: a fresh call runs and returns normally.
+	rep, shared, err := g.do("k", func() (*report.Report, error) {
+		return &report.Report{Machine: "fresh"}, nil
+	})
+	if err != nil || shared || rep == nil || rep.Machine != "fresh" {
+		t.Errorf("post-panic call = %+v shared=%v err=%v, want a fresh run", rep, shared, err)
+	}
+}

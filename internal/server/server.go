@@ -1,0 +1,397 @@
+// Package server implements the probe-registry server: an
+// http.Handler that stores Servet reports keyed by machine
+// fingerprint behind a pluggable Store, serves them (whole, listed,
+// or per probe section) to autotuners across a cluster, and runs the
+// probe engine on demand for fingerprints it has no fresh results
+// for. Identical concurrent run requests coalesce into a single
+// engine execution.
+//
+// The registry is the cluster-side half of the install-time parameter
+// file the paper describes: one node measures, every node with the
+// same hardware fingerprint reuses the results (clients connect
+// through servet.RemoteCache or plain HTTP; the wire protocol lives
+// in internal/regproto).
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"servet"
+	"servet/internal/regproto"
+	"servet/internal/report"
+)
+
+// maxReportBytes bounds PUT and POST bodies; the largest real report
+// (FinisTerrae, full bandwidth sweeps) is well under a megabyte.
+const maxReportBytes = 32 << 20
+
+// Registry is the probe-registry server: an http.Handler over a Store
+// of fingerprint-keyed reports with an on-demand probe engine.
+type Registry struct {
+	store       Store
+	parallelism int
+	baseCtx     context.Context
+	mux         *http.ServeMux
+	flight      flightGroup
+
+	// fpLocks serializes every store-entry read-modify-write per
+	// fingerprint (on-demand runs and PUTs): a session run is
+	// Lookup → measure → Store, and two concurrent writers that both
+	// read the old entry would each store a report missing what the
+	// other just measured. The singleflight group only covers
+	// byte-identical run requests; this covers the rest.
+	fpMu    sync.Mutex
+	fpLocks map[string]*sync.Mutex
+
+	runSessions    atomic.Int64
+	runsCoalesced  atomic.Int64
+	probesExecuted atomic.Int64
+}
+
+// fingerprintLock returns the mutex serializing writes to one
+// fingerprint's entry. Locks are never freed; the map is bounded by
+// the number of distinct machine models the registry ever sees.
+func (reg *Registry) fingerprintLock(fp string) *sync.Mutex {
+	reg.fpMu.Lock()
+	defer reg.fpMu.Unlock()
+	if reg.fpLocks == nil {
+		reg.fpLocks = make(map[string]*sync.Mutex)
+	}
+	m := reg.fpLocks[fp]
+	if m == nil {
+		m = &sync.Mutex{}
+		reg.fpLocks[fp] = m
+	}
+	return m
+}
+
+// Option configures a Registry.
+type Option func(*Registry)
+
+// WithParallelism sets the worker count on-demand runs hand to their
+// session (probe-level and intra-probe fan-out; reports are identical
+// at any value).
+func WithParallelism(n int) Option {
+	return func(r *Registry) { r.parallelism = n }
+}
+
+// WithBaseContext sets the context on-demand probe runs execute
+// under. Runs deliberately do not inherit the triggering request's
+// context — coalesced waiters would be poisoned by the leader
+// hanging up — so cancellation comes from this context instead:
+// cancel it (e.g. on SIGINT) to abort in-flight engine runs during
+// shutdown.
+func WithBaseContext(ctx context.Context) Option {
+	return func(r *Registry) { r.baseCtx = ctx }
+}
+
+// New builds a registry over the store.
+func New(store Store, opts ...Option) *Registry {
+	reg := &Registry{store: store, parallelism: 1, baseCtx: context.Background()}
+	for _, o := range opts {
+		o(reg)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET "+regproto.ReportsPath, reg.handleList)
+	mux.HandleFunc("GET "+regproto.ReportsPath+"/{fingerprint}", reg.handleGetReport)
+	mux.HandleFunc("PUT "+regproto.ReportsPath+"/{fingerprint}", reg.handlePutReport)
+	mux.HandleFunc("GET "+regproto.ReportsPath+"/{fingerprint}/probes/{probe}", reg.handleGetProbe)
+	mux.HandleFunc("POST "+regproto.RunPath, reg.handleRun)
+	mux.HandleFunc("GET "+regproto.StatsPath, reg.handleStats)
+	mux.HandleFunc("GET "+regproto.HealthPath, func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	reg.mux = mux
+	return reg
+}
+
+// ServeHTTP implements http.Handler.
+func (reg *Registry) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	reg.mux.ServeHTTP(w, req)
+}
+
+// Stats returns the registry's run counters.
+func (reg *Registry) Stats() regproto.Stats {
+	return regproto.Stats{
+		RunSessions:    reg.runSessions.Load(),
+		RunsCoalesced:  reg.runsCoalesced.Load(),
+		ProbesExecuted: reg.probesExecuted.Load(),
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, e regproto.Error) {
+	writeJSON(w, status, e)
+}
+
+// handleList serves GET /v1/reports: one Entry per stored report.
+func (reg *Registry) handleList(w http.ResponseWriter, req *http.Request) {
+	reports, err := reg.store.List()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, regproto.Error{Code: regproto.CodeInternal, Message: err.Error()})
+		return
+	}
+	entries := make([]regproto.Entry, 0, len(reports))
+	for _, r := range reports {
+		e := regproto.Entry{Fingerprint: r.Fingerprint, Machine: r.Machine, Schema: r.Schema}
+		for _, p := range r.Provenance {
+			e.Probes = append(e.Probes, p.Probe)
+		}
+		entries = append(entries, e)
+	}
+	writeJSON(w, http.StatusOK, entries)
+}
+
+// handleGetReport serves GET /v1/reports/{fingerprint}: the full
+// stored report, or 404.
+func (reg *Registry) handleGetReport(w http.ResponseWriter, req *http.Request) {
+	fp := req.PathValue("fingerprint")
+	r, err := reg.store.Get(fp)
+	if err != nil {
+		status, e := storeErr(err, fp)
+		writeError(w, status, e)
+		return
+	}
+	writeJSON(w, http.StatusOK, r)
+}
+
+// handlePutReport serves PUT /v1/reports/{fingerprint}: store a
+// report a node measured itself. Malformed bodies are 400; a report
+// whose schema the registry does not store, or whose fingerprint
+// disagrees with the addressed one, is 409.
+func (reg *Registry) handlePutReport(w http.ResponseWriter, req *http.Request) {
+	fp := req.PathValue("fingerprint")
+	var r report.Report
+	if err := json.NewDecoder(http.MaxBytesReader(w, req.Body, maxReportBytes)).Decode(&r); err != nil {
+		writeError(w, http.StatusBadRequest, regproto.Error{
+			Code: regproto.CodeBadRequest, Message: "malformed report body: " + err.Error(),
+		})
+		return
+	}
+	if r.Schema != report.CurrentSchema {
+		writeError(w, http.StatusConflict, regproto.Error{
+			Code:    regproto.CodeSchemaMismatch,
+			Message: (&SchemaMismatchError{Schema: r.Schema, Want: report.CurrentSchema}).Error(),
+			Schema:  r.Schema,
+		})
+		return
+	}
+	if r.Fingerprint == "" {
+		writeError(w, http.StatusBadRequest, regproto.Error{
+			Code: regproto.CodeBadRequest, Message: "report carries no fingerprint",
+		})
+		return
+	}
+	if r.Fingerprint != fp {
+		writeError(w, http.StatusConflict, regproto.Error{
+			Code:    regproto.CodeFingerprintMismatch,
+			Message: fmt.Sprintf("report is for machine %s, request addressed %s", r.Fingerprint, fp),
+			Have:    r.Fingerprint,
+			Want:    fp,
+		})
+		return
+	}
+	// Serialize with on-demand runs on the same fingerprint so a PUT
+	// landing mid-run is not reverted by the run's store.
+	lock := reg.fingerprintLock(fp)
+	lock.Lock()
+	err := reg.store.Put(&r)
+	lock.Unlock()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, regproto.Error{Code: regproto.CodeInternal, Message: err.Error()})
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleGetProbe serves GET /v1/reports/{fingerprint}/probes/{probe}:
+// one probe's provenance row plus the report section it produced.
+// Unknown fingerprints and probes the stored report carries no
+// provenance for are 404.
+func (reg *Registry) handleGetProbe(w http.ResponseWriter, req *http.Request) {
+	fp, probe := req.PathValue("fingerprint"), req.PathValue("probe")
+	r, err := reg.store.Get(fp)
+	if err != nil {
+		status, e := storeErr(err, fp)
+		writeError(w, status, e)
+		return
+	}
+	prov := r.ProvenanceFor(probe)
+	if prov == nil {
+		writeError(w, http.StatusNotFound, regproto.Error{
+			Code:    regproto.CodeNotFound,
+			Message: fmt.Sprintf("report %s carries no section for probe %q", fp, probe),
+		})
+		return
+	}
+	sec := regproto.ProbeSection{Fingerprint: fp, Probe: probe, Provenance: *prov}
+	for i := range r.Timings {
+		if r.Timings[i].Stage == probe {
+			tm := r.Timings[i]
+			sec.Timing = &tm
+		}
+	}
+	// Map the built-in probes to their report sections. A probe
+	// registered after this list (the pipeline is designed for
+	// extension) falls through to a provenance-plus-timing-only
+	// response — the documented ProbeSection contract — and its data
+	// stays reachable through the full-report endpoint.
+	switch probe {
+	case "cache-size", "shared-caches":
+		sec.Caches = r.Caches
+	case "memory-overhead":
+		sec.Memory = &r.Memory
+	case "communication-costs":
+		sec.Comm = &r.Comm
+	case "tlb":
+		sec.TLB = r.TLB
+	}
+	writeJSON(w, http.StatusOK, sec)
+}
+
+// handleRun serves POST /v1/run: produce a report for a machine
+// model, measuring only probes the store has no fresh section for.
+// Identical concurrent requests coalesce onto one engine run (the
+// response header Servet-Run reports "coalesced" for the piggybacked
+// ones); the stored entry is updated before anyone gets the report.
+func (reg *Registry) handleRun(w http.ResponseWriter, req *http.Request) {
+	var rr regproto.RunRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, req.Body, maxReportBytes)).Decode(&rr); err != nil {
+		writeError(w, http.StatusBadRequest, regproto.Error{
+			Code: regproto.CodeBadRequest, Message: "malformed run request: " + err.Error(),
+		})
+		return
+	}
+	// Normalize the request to its effective values before anything
+	// derives from it, so requests that differ only in spelled-out
+	// defaults ({"machine":"dempsey"} vs {...,"nodes":2,"seed":1})
+	// build the same machine and the same coalescing key.
+	if rr.Nodes <= 0 {
+		rr.Nodes = 2
+	}
+	if rr.Seed == 0 {
+		rr.Seed = 1 // the engine's default (core.withDefaults)
+	}
+	m, ok := servet.Models(rr.Nodes)[rr.Machine]
+	if !ok {
+		writeError(w, http.StatusBadRequest, regproto.Error{
+			Code: regproto.CodeBadRequest, Message: fmt.Sprintf("unknown machine model %q", rr.Machine),
+		})
+		return
+	}
+	fp := m.Fingerprint()
+
+	// The coalescing key is the fingerprint plus the normalized
+	// request: two requests coalesce only when they would run the same
+	// probes under the same options (the canonical JSON of the
+	// fixed-order struct is a cheap digest of that).
+	keyBytes, err := json.Marshal(rr)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, regproto.Error{Code: regproto.CodeInternal, Message: err.Error()})
+		return
+	}
+	rep, shared, err := reg.flight.do(fp+"|"+string(keyBytes), func() (*report.Report, error) {
+		// Serialize against other runs and PUTs on this fingerprint:
+		// the waiter's Lookup then sees the finished entry and its
+		// carryLeftovers keeps every section both runs produced,
+		// instead of last-write-wins dropping one run's measurements.
+		lock := reg.fingerprintLock(fp)
+		lock.Lock()
+		defer lock.Unlock()
+		opts := []servet.Option{
+			servet.WithCache(storeCache{reg.store}),
+			servet.WithParallelism(reg.parallelism),
+			servet.WithSeed(rr.Seed),
+			servet.WithNoise(rr.Noise),
+		}
+		if rr.Quick {
+			opts = append(opts, servet.WithQuick())
+		}
+		ses, err := servet.NewSession(m, opts...)
+		if err != nil {
+			return nil, err
+		}
+		// The run executes under the registry's base context, not the
+		// request's: a leader hanging up must not poison the waiters
+		// that coalesced onto its run.
+		out, err := ses.Run(reg.baseCtx, rr.Probes...)
+		if err != nil {
+			return nil, err
+		}
+		reg.runSessions.Add(1)
+		for _, p := range out.Provenance {
+			if p.Status == report.ProvenanceRan {
+				reg.probesExecuted.Add(1)
+			}
+		}
+		return out, nil
+	})
+	if shared {
+		reg.runsCoalesced.Add(1)
+	}
+	if err != nil {
+		var unknown *servet.UnknownProbeError
+		if errors.As(err, &unknown) {
+			writeError(w, http.StatusBadRequest, regproto.Error{Code: regproto.CodeBadRequest, Message: err.Error()})
+			return
+		}
+		writeError(w, http.StatusInternalServerError, regproto.Error{Code: regproto.CodeInternal, Message: err.Error()})
+		return
+	}
+	if shared {
+		w.Header().Set("Servet-Run", "coalesced")
+	} else {
+		w.Header().Set("Servet-Run", "executed")
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+// handleStats serves GET /v1/stats.
+func (reg *Registry) handleStats(w http.ResponseWriter, req *http.Request) {
+	writeJSON(w, http.StatusOK, reg.Stats())
+}
+
+// storeErr maps a Store.Get failure to its HTTP shape.
+func storeErr(err error, fp string) (int, regproto.Error) {
+	if errors.Is(err, ErrNotFound) {
+		return http.StatusNotFound, regproto.Error{
+			Code:    regproto.CodeNotFound,
+			Message: fmt.Sprintf("no report for fingerprint %s", fp),
+		}
+	}
+	return http.StatusInternalServerError, regproto.Error{Code: regproto.CodeInternal, Message: err.Error()}
+}
+
+// storeCache adapts the registry's Store to the session Cache
+// interface, so on-demand runs restore fresh sections straight from
+// the registry and store the merged report back — the same
+// incremental machinery a local FileCache session uses.
+type storeCache struct{ s Store }
+
+// Lookup implements servet.Cache; any store failure is a miss (the
+// session then measures everything), matching the cache contract.
+func (c storeCache) Lookup(fingerprint string) (*servet.Report, bool) {
+	r, err := c.s.Get(fingerprint)
+	if err != nil {
+		return nil, false
+	}
+	return r, true
+}
+
+// Store implements servet.Cache.
+func (c storeCache) Store(fingerprint string, r *servet.Report) error {
+	return c.s.Put(r)
+}

@@ -1,0 +1,153 @@
+package server_test
+
+import (
+	"errors"
+	"testing"
+
+	"servet/internal/report"
+	"servet/internal/server"
+)
+
+// storeSample builds a minimal schema-current report for store tests.
+func storeSample(fingerprint string, l1 int64) *report.Report {
+	return &report.Report{
+		Schema:      report.CurrentSchema,
+		Machine:     "sample",
+		Fingerprint: fingerprint,
+		ClockGHz:    2,
+		Nodes:       1, CoresPerNode: 2,
+		Caches: []report.CacheResult{{Level: 1, SizeBytes: l1, Method: "gradient"}},
+		Provenance: []report.ProbeProvenance{
+			{Probe: "cache-size", Status: report.ProvenanceRan, OptionsDigest: "d1"},
+		},
+	}
+}
+
+func TestMemStoreGetUnknown(t *testing.T) {
+	s := server.NewMemStore()
+	if _, err := s.Get("sha256:nope"); !errors.Is(err, server.ErrNotFound) {
+		t.Errorf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestMemStorePutValidation(t *testing.T) {
+	s := server.NewMemStore()
+	if err := s.Put(storeSample("", 16<<10)); err == nil {
+		t.Error("fingerprint-less report stored")
+	}
+	bad := storeSample("sha256:abc", 16<<10)
+	bad.Schema = 1
+	err := s.Put(bad)
+	var sm *server.SchemaMismatchError
+	if !errors.As(err, &sm) {
+		t.Fatalf("err = %v, want *SchemaMismatchError", err)
+	}
+	if sm.Schema != 1 || sm.Want != report.CurrentSchema {
+		t.Errorf("mismatch fields = %+v", sm)
+	}
+}
+
+// TestMemStoreIsolation: the store must never alias its entries with
+// reports callers hold — the same contract as the session caches.
+func TestMemStoreIsolation(t *testing.T) {
+	s := server.NewMemStore()
+	orig := storeSample("sha256:abc", 16<<10)
+	if err := s.Put(orig); err != nil {
+		t.Fatal(err)
+	}
+	orig.Caches[0].SizeBytes = 1
+
+	got, err := s.Get("sha256:abc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Caches[0].SizeBytes != 16<<10 {
+		t.Fatalf("Put aliased the caller's report: L1 = %d", got.Caches[0].SizeBytes)
+	}
+	got.Caches[0].SizeBytes = 2
+
+	listed, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(listed) != 1 || listed[0].Caches[0].SizeBytes != 16<<10 {
+		t.Fatalf("Get handed out a shared report; store now lists %+v", listed)
+	}
+}
+
+func TestMemStoreListSorted(t *testing.T) {
+	s := server.NewMemStore()
+	for _, fp := range []string{"sha256:bb", "sha256:aa", "sha256:cc"} {
+		if err := s.Put(storeSample(fp, 16<<10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	listed, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(listed) != 3 {
+		t.Fatalf("listed %d", len(listed))
+	}
+	for i, want := range []string{"sha256:aa", "sha256:bb", "sha256:cc"} {
+		if listed[i].Fingerprint != want {
+			t.Errorf("listed[%d] = %s, want %s", i, listed[i].Fingerprint, want)
+		}
+	}
+}
+
+func TestDirStoreRoundTrip(t *testing.T) {
+	s := server.NewDirStore(t.TempDir() + "/reports")
+	if _, err := s.Get("sha256:abc"); !errors.Is(err, server.ErrNotFound) {
+		t.Errorf("missing entry: err = %v, want ErrNotFound", err)
+	}
+	if err := s.Put(storeSample("sha256:abc", 16<<10)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("sha256:abc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Caches[0].SizeBytes != 16<<10 {
+		t.Errorf("round trip lost data: %+v", got)
+	}
+	listed, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(listed) != 1 || listed[0].Fingerprint != "sha256:abc" {
+		t.Errorf("list = %+v", listed)
+	}
+}
+
+// TestDirStoreSharesDirLayout: the server's directory store and the
+// report.Dir layout (which the public DirCache writes) are the same
+// files — a registry pointed at a sweep's cache directory serves its
+// entries as-is.
+func TestDirStoreSharesDirLayout(t *testing.T) {
+	path := t.TempDir() + "/reports"
+	d := report.Dir{Path: path}
+	if err := d.Save(storeSample("sha256:abc", 16<<10)); err != nil {
+		t.Fatal(err)
+	}
+	s := server.NewDirStore(path)
+	got, err := s.Get("sha256:abc")
+	if err != nil {
+		t.Fatalf("DirStore cannot read Dir layout: %v", err)
+	}
+	if got.Caches[0].SizeBytes != 16<<10 {
+		t.Errorf("entry = %+v", got)
+	}
+	// And the other direction: a stored entry is a plain report.Dir
+	// file.
+	if err := s.Put(storeSample("sha256:def", 32<<10)); err != nil {
+		t.Fatal(err)
+	}
+	back, err := d.Load("sha256:def")
+	if err != nil {
+		t.Fatalf("Dir cannot read DirStore entry: %v", err)
+	}
+	if back.Caches[0].SizeBytes != 32<<10 {
+		t.Errorf("entry = %+v", back)
+	}
+}

@@ -19,6 +19,14 @@ type sessionConfig struct {
 	opt       core.Options
 	cache     Cache
 	cachePath string
+	cacheDir  string
+	cacheURL  string
+}
+
+// setCache records one cache choice, clearing the others: the cache
+// options below are mutually exclusive and the last one applied wins.
+func (c *sessionConfig) setCache(cache Cache, path, dir, url string) {
+	c.cache, c.cachePath, c.cacheDir, c.cacheURL = cache, path, dir, url
 }
 
 func (c *sessionConfig) apply(opts []Option) {
@@ -68,7 +76,7 @@ func WithQuick() Option {
 // WithCache attaches a probe-result cache: Session.Run consults it
 // before executing probes and stores the merged report back into it.
 func WithCache(cache Cache) Option {
-	return func(c *sessionConfig) { c.cache = cache; c.cachePath = "" }
+	return func(c *sessionConfig) { c.setCache(cache, "", "", "") }
 }
 
 // WithCacheFile attaches a FileCache on the install-time JSON report
@@ -76,7 +84,24 @@ func WithCache(cache Cache) Option {
 // incremental cache, and re-runs execute only probes whose options
 // changed (or whose dependencies did).
 func WithCacheFile(path string) Option {
-	return func(c *sessionConfig) { c.cache = nil; c.cachePath = path }
+	return func(c *sessionConfig) { c.setCache(nil, path, "", "") }
+}
+
+// WithCacheDir attaches a DirCache on a directory of per-fingerprint
+// report files — the multi-entry counterpart of WithCacheFile, safe
+// to share across the machines of a heterogeneous Sweep.
+func WithCacheDir(path string) Option {
+	return func(c *sessionConfig) { c.setCache(nil, "", path, "") }
+}
+
+// WithRemoteCache attaches a RemoteCache talking to the probe
+// registry at url (a cmd/servet-server instance): the session
+// restores probes from the cluster-shared registry and publishes its
+// merged report back, so nodes with the same hardware fingerprint
+// measure once. A malformed url fails NewSession; an unreachable
+// registry degrades to measuring locally.
+func WithRemoteCache(url string) Option {
+	return func(c *sessionConfig) { c.setCache(nil, "", "", url) }
 }
 
 // Session is the stateful entry point of the suite: it owns the
@@ -103,8 +128,17 @@ func NewSession(m *Machine, opts ...Option) (*Session, error) {
 		return nil, err
 	}
 	cache := cfg.cache
-	if cfg.cachePath != "" {
+	switch {
+	case cfg.cachePath != "":
 		cache = NewFileCache(cfg.cachePath)
+	case cfg.cacheDir != "":
+		cache = NewDirCache(cfg.cacheDir)
+	case cfg.cacheURL != "":
+		rc, err := NewRemoteCache(cfg.cacheURL)
+		if err != nil {
+			return nil, err
+		}
+		cache = rc
 	}
 	return &Session{
 		suite:       suite,

@@ -28,11 +28,15 @@ func (e *SweepError) Unwrap() error { return e.Err }
 // (each machine's own probes stay sequential unless the option says
 // otherwise).
 //
-// The options apply to every session, so WithCache shares one cache
-// across the sweep — safe, because entries are keyed by machine
-// fingerprint. Do not use WithCacheFile here unless all machines are
-// the same model: a FileCache holds a single machine's report, and a
-// session that would replace another machine's file fails with a
+// The options apply to every session, so the cache options share one
+// cache across the sweep — safe for the fingerprint-keyed caches:
+// WithCacheDir gives every machine its own per-fingerprint file in
+// one directory (the install-time layout of a heterogeneous cluster,
+// servable as-is by cmd/servet-server), and WithCache(NewMemoryCache())
+// or WithRemoteCache key entries by fingerprint too. Do not use
+// WithCacheFile here unless all machines are the same model: a
+// FileCache holds a single machine's report, and a session that would
+// replace another machine's file fails with a
 // *FingerprintMismatchError instead of clobbering it.
 //
 // On the first failing session the sweep stops launching machines,
