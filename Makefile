@@ -1,0 +1,38 @@
+# Build, test and benchmark entry points. `make bench` runs the
+# microbenchmark suite and normalizes it into the BENCH_*.json perf
+# trajectory (see README "Performance"); set BENCH_BASELINE to a prior
+# BENCH_*.json (or raw `go test -bench` text) to record speedups.
+
+GO ?= go
+
+# Perf-trajectory knobs.
+BENCH_N        ?= 6
+BENCH_OUT      ?= BENCH_$(BENCH_N).json
+BENCH_COUNT    ?= 3
+BENCH_REGEX    ?= .
+BENCH_PKGS     ?= ./internal/memsys ./internal/core
+BENCH_BASELINE ?=
+
+.PHONY: build test vet bench clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Benchmarks only (-run '^$' skips tests); -benchmem so the trajectory
+# tracks allocations, -count so benchjson can keep the best run.
+bench:
+	@mkdir -p bin
+	$(GO) build -o bin/benchjson ./cmd/benchjson
+	$(GO) test -run '^$$' -bench '$(BENCH_REGEX)' -benchmem -count $(BENCH_COUNT) $(BENCH_PKGS) \
+		| ./bin/benchjson -issue $(BENCH_N) -o $(BENCH_OUT) \
+			$(if $(BENCH_BASELINE),-baseline $(BENCH_BASELINE))
+	@echo "wrote $(BENCH_OUT)"
+
+clean:
+	rm -rf bin

@@ -25,6 +25,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -46,8 +48,19 @@ func main() {
 		probes     = flag.String("probes", "", "comma-separated probe subset (default: full suite; see -list-probes)")
 		parallel   = flag.Int("parallel", 1, "worker count for probe-level and intra-probe fan-out (reports are identical at any value)")
 		listProbes = flag.Bool("list-probes", false, "list probe names and exit")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this path (pprof format)")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this path on exit (pprof format)")
 	)
 	flag.Parse()
+
+	// Profiles must flush on every exit path, including error exits, so
+	// all os.Exit calls below go through exit().
+	stopProfiles := startProfiles(*cpuprofile, *memprofile)
+	defer stopProfiles()
+	exit := func(code int) {
+		stopProfiles()
+		os.Exit(code)
+	}
 
 	if *listProbes {
 		fmt.Println(strings.Join(servet.ProbeNames(), "\n"))
@@ -67,7 +80,7 @@ func main() {
 	m, ok := models[*machine]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "servet: unknown machine %q (try -list)\n", *machine)
-		os.Exit(2)
+		exit(2)
 	}
 
 	opts := []servet.Option{
@@ -80,7 +93,7 @@ func main() {
 	}
 	if *cachePath != "" && *cacheURL != "" {
 		fmt.Fprintln(os.Stderr, "servet: -cache and -cache-url are mutually exclusive: pick the local file or the registry, not both")
-		os.Exit(2)
+		exit(2)
 	}
 	if *cachePath != "" {
 		opts = append(opts, servet.WithCacheFile(*cachePath))
@@ -93,7 +106,7 @@ func main() {
 		rc, err := servet.NewRemoteCache(*cacheURL)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "servet: %v\n", err)
-			os.Exit(2)
+			exit(2)
 		}
 		remote = rc
 		opts = append(opts, servet.WithCache(rc))
@@ -111,7 +124,7 @@ func main() {
 	ses, err := servet.NewSession(m, opts...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "servet: %v\n", err)
-		os.Exit(1)
+		exit(1)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -119,7 +132,7 @@ func main() {
 	rep, err := ses.Run(ctx, names...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "servet: %v\n", err)
-		os.Exit(1)
+		exit(1)
 	}
 	fmt.Print(rep.Summary())
 	if len(rep.Provenance) > 0 {
@@ -145,8 +158,51 @@ func main() {
 	if *out != "" {
 		if err := rep.Save(*out); err != nil {
 			fmt.Fprintf(os.Stderr, "servet: %v\n", err)
-			os.Exit(1)
+			exit(1)
 		}
 		fmt.Printf("\nreport written to %s\n", *out)
+	}
+}
+
+// startProfiles starts the requested pprof profiles and returns an
+// idempotent stop function that flushes them: the CPU profile stops
+// streaming and the heap profile is captured (after a GC, so it shows
+// live bytes, not garbage).
+func startProfiles(cpuPath, memPath string) func() {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "servet: -cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "servet: -cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		cpuFile = f
+	}
+	done := false
+	return func() {
+		if done {
+			return
+		}
+		done = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "servet: -memprofile: %v\n", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "servet: -memprofile: %v\n", err)
+			}
+			f.Close()
+		}
 	}
 }

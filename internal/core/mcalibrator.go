@@ -107,20 +107,17 @@ func McalibratorContext(ctx context.Context, m *topology.Machine, core int, opt 
 
 // traverse walks the array with the probe stride: one warm-up pass and
 // `passes` measured passes. It returns the measured average cycles per
-// access and the total cycles of all passes including warm-up.
+// access and the total cycles of all passes including warm-up. Passes
+// run through the batched memsys.AccessRunAccum path, which preserves
+// the per-access float summation order of the historical Access loop,
+// so results are bit-identical to it.
 func traverse(in *memsys.Instance, core int, sp *memsys.Space, a *memsys.Array, stride int64, passes int) (avg, total float64) {
 	var measured float64
-	var n int64
-	for pass := 0; pass <= passes; pass++ {
-		for off := int64(0); off < a.Bytes; off += stride {
-			c := in.Access(core, sp, a.Base+off)
-			total += c
-			if pass > 0 {
-				measured += c
-				n++
-			}
-		}
+	in.AccessStrideAccum(core, sp, a.Base, a.Bytes, stride, &total, nil) // warm-up pass
+	for pass := 1; pass <= passes; pass++ {
+		in.AccessStrideAccum(core, sp, a.Base, a.Bytes, stride, &total, &measured)
 	}
+	n := int64(passes) * ((a.Bytes + stride - 1) / stride)
 	if n == 0 {
 		return 0, total
 	}

@@ -43,18 +43,16 @@ func DetectTLB(in *memsys.Instance, coreID int, opt Options) (DetectedTLB, bool)
 	for np := 4; np <= maxPages; np *= 2 {
 		in.ResetCaches()
 		arr := sp.Alloc(int64(np) * stride)
-		var sum float64
-		var n int64
-		for pass := 0; pass <= opt.Passes; pass++ {
-			for i := 0; i < np; i++ {
-				c := in.Access(coreID, sp, arr.Base+int64(i)*stride)
-				probeCycles += c
-				if pass > 0 {
-					sum += c
-					n++
-				}
-			}
+		addrs := make([]int64, np)
+		for i := range addrs {
+			addrs[i] = arr.Base + int64(i)*stride
 		}
+		var sum float64
+		in.AccessRunAccum(coreID, sp, addrs, &probeCycles, nil) // warm-up pass
+		for pass := 1; pass <= opt.Passes; pass++ {
+			in.AccessRunAccum(coreID, sp, addrs, &probeCycles, &sum)
+		}
+		n := int64(opt.Passes) * int64(np)
 		sp.Free(arr)
 		pages = append(pages, np)
 		cycles = append(cycles, sum/float64(n))

@@ -10,47 +10,111 @@
 // indexed caches under random page placement, cache thrashing between
 // cores that share a cache, and bus/cell bandwidth collisions between
 // cores that share a memory path.
+//
+// The simulation hot path — one Access — is engineered to be
+// allocation-free and division-free: cache sets live in one flat
+// backing array per instance, page tables are dense per-region frame
+// slices, set and page indexing use masks when the counts are powers
+// of two, and every core keeps a one-entry translation cache for the
+// page it last touched. AccessRun batches whole traversals through
+// that path. The BENCH_*.json perf trajectory (see `make bench`)
+// tracks the cost of these operations across PRs.
 package memsys
 
-import "servet/internal/topology"
+import (
+	"fmt"
+
+	"servet/internal/topology"
+)
 
 // cache is one instance of a set-associative LRU cache level.
+//
+// All sets share one flat backing array of numSets*assoc tags plus a
+// per-set fill count, allocated on first touch: the access path never
+// appends or copies-to-grow, and reset keeps the capacity so the next
+// measurement re-touches warm memory instead of re-growing every set.
 type cache struct {
-	spec     *topology.CacheLevel
-	sets     [][]int64 // per set: physical line addresses, MRU first
+	spec *topology.CacheLevel
+	// lines holds the physical line tags, set-major, MRU first within
+	// each set; nil until the first access touches the instance.
+	lines []int64
+	// lens is the number of valid tags per set.
+	lens     []int32
 	numSets  int64
+	setMask  int64 // numSets-1 when numSets is a power of two, else 0
+	assoc    int64
 	lineBits uint
+	virtual  bool // set selected by the virtual line address
 }
 
+// newCache validates the level's geometry and builds an empty cache.
+// It panics on a spec the simulator cannot model faithfully: a
+// non-power-of-two line size (the line-offset split is a shift, so
+// lineBits would silently index the wrong line), or a size that does
+// not divide into at least one full set (numSets of zero would make
+// every set index collapse or divide by zero).
 func newCache(spec *topology.CacheLevel) *cache {
+	if spec.LineBytes <= 0 || spec.LineBytes&(spec.LineBytes-1) != 0 {
+		panic(fmt.Sprintf("memsys: L%d line size %d bytes is not a positive power of two", spec.Level, spec.LineBytes))
+	}
+	if spec.Assoc < 1 {
+		panic(fmt.Sprintf("memsys: L%d associativity %d is not positive", spec.Level, spec.Assoc))
+	}
 	numSets := spec.SizeBytes / (spec.LineBytes * int64(spec.Assoc))
+	if numSets < 1 || numSets*spec.LineBytes*int64(spec.Assoc) != spec.SizeBytes {
+		panic(fmt.Sprintf("memsys: L%d size %d bytes does not divide into %d-way sets of %d-byte lines",
+			spec.Level, spec.SizeBytes, spec.Assoc, spec.LineBytes))
+	}
 	lineBits := uint(0)
 	for l := spec.LineBytes; l > 1; l >>= 1 {
 		lineBits++
 	}
-	return &cache{
+	c := &cache{
 		spec:     spec,
-		sets:     make([][]int64, numSets),
 		numSets:  numSets,
+		assoc:    int64(spec.Assoc),
 		lineBits: lineBits,
+		virtual:  spec.Indexing == topology.VirtuallyIndexed,
 	}
+	if numSets&(numSets-1) == 0 {
+		c.setMask = numSets - 1
+	}
+	return c
 }
 
 // setIndex selects the set for an access, from the virtual or physical
 // line address according to the level's indexing mode.
 func (c *cache) setIndex(vLine, pLine int64) int64 {
-	if c.spec.Indexing == topology.VirtuallyIndexed {
-		return vLine % c.numSets
+	line := pLine
+	if c.virtual {
+		line = vLine
 	}
-	return pLine % c.numSets
+	if c.setMask != 0 {
+		return line & c.setMask
+	}
+	return line % c.numSets
+}
+
+// grow allocates the flat backing storage on the instance's first
+// access; untouched cache instances (other cores' private caches) cost
+// nothing beyond the struct.
+func (c *cache) grow() {
+	c.lines = make([]int64, c.numSets*c.assoc)
+	c.lens = make([]int32, c.numSets)
 }
 
 // access looks a line up, returns whether it hit, and updates
 // LRU/contents: hits move to MRU, misses insert at MRU evicting the LRU
-// way if the set is full.
+// way if the set is full. It never allocates once the backing array
+// exists.
 func (c *cache) access(vLine, pLine int64) bool {
+	if c.lines == nil {
+		c.grow()
+	}
 	idx := c.setIndex(vLine, pLine)
-	set := c.sets[idx]
+	base := idx * c.assoc
+	n := int64(c.lens[idx])
+	set := c.lines[base : base+n : base+n]
 	for i, tag := range set {
 		if tag == pLine {
 			// Move to front (MRU).
@@ -59,20 +123,26 @@ func (c *cache) access(vLine, pLine int64) bool {
 			return true
 		}
 	}
-	// Miss: insert at MRU.
-	if len(set) < c.spec.Assoc {
-		set = append(set, 0)
+	// Miss: insert at MRU, growing the set within its reserved ways.
+	if n < c.assoc {
+		n++
+		c.lens[idx] = int32(n)
+		set = c.lines[base : base+n : base+n]
 	}
 	copy(set[1:], set)
 	set[0] = pLine
-	c.sets[idx] = set
 	return false
 }
 
 // contains reports whether the line is cached, without touching LRU
 // state (used by tests).
 func (c *cache) contains(vLine, pLine int64) bool {
-	for _, tag := range c.sets[c.setIndex(vLine, pLine)] {
+	if c.lines == nil {
+		return false
+	}
+	idx := c.setIndex(vLine, pLine)
+	base := idx * c.assoc
+	for _, tag := range c.lines[base : base+int64(c.lens[idx])] {
 		if tag == pLine {
 			return true
 		}
@@ -80,9 +150,10 @@ func (c *cache) contains(vLine, pLine int64) bool {
 	return false
 }
 
-// reset drops all cached lines.
+// reset drops all cached lines but retains the backing capacity:
+// truncating every set to length zero is a flat memclr, and the next
+// measurement's accesses re-fill the warm array without a single
+// allocation.
 func (c *cache) reset() {
-	for i := range c.sets {
-		c.sets[i] = nil
-	}
+	clear(c.lens)
 }

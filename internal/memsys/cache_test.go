@@ -67,8 +67,8 @@ func TestCacheSetNeverExceedsAssocProperty(t *testing.T) {
 			line := int64(rng.Intn(256))
 			c.access(line, line)
 		}
-		for _, set := range c.sets {
-			if len(set) > 4 {
+		for _, n := range c.lens {
+			if int64(n) > c.assoc {
 				return false
 			}
 		}
@@ -99,5 +99,65 @@ func TestCacheReset(t *testing.T) {
 	c.reset()
 	if c.contains(3, 3) {
 		t.Error("reset did not clear the cache")
+	}
+}
+
+func TestNewCacheValidation(t *testing.T) {
+	cases := []struct {
+		name      string
+		size      int64
+		assoc     int
+		lineBytes int64
+		wantPanic bool
+	}{
+		{"valid pow2", 1024, 2, 64, false},
+		{"valid non-pow2 sets", 3 * 1024, 2, 64, false}, // 24 sets: legal, modulo path
+		{"zero line", 1024, 2, 0, true},
+		{"negative line", 1024, 2, -64, true},
+		{"non-pow2 line", 1024, 2, 96, true},
+		{"zero assoc", 1024, 0, 64, true},
+		{"negative assoc", 1024, -1, 64, true},
+		{"size below one set", 64, 2, 64, true},      // numSets = 0
+		{"size not set multiple", 1000, 2, 64, true}, // 1000 / 128 leaves a remainder
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				r := recover()
+				if tc.wantPanic && r == nil {
+					t.Fatalf("newCache(size=%d assoc=%d line=%d) did not panic", tc.size, tc.assoc, tc.lineBytes)
+				}
+				if !tc.wantPanic && r != nil {
+					t.Fatalf("newCache(size=%d assoc=%d line=%d) panicked: %v", tc.size, tc.assoc, tc.lineBytes, r)
+				}
+			}()
+			spec := &topology.CacheLevel{
+				Level: 1, SizeBytes: tc.size, Assoc: tc.assoc, LineBytes: tc.lineBytes,
+				LatencyCycles: 3, Indexing: topology.PhysicallyIndexed, Groups: topology.PrivateGroups(1),
+			}
+			newCache(spec)
+		})
+	}
+}
+
+func TestCacheResetRetainsCapacity(t *testing.T) {
+	c := newCache(tinyCacheSpec(1024, 2, topology.PhysicallyIndexed))
+	for l := int64(0); l < 32; l++ {
+		c.access(l, l)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		c.reset()
+		for l := int64(0); l < 32; l++ {
+			c.access(l, l)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("reset+refill allocated %.1f times per run; want 0 (capacity must be retained)", allocs)
+	}
+	c.reset()
+	for l := int64(0); l < 32; l++ {
+		if c.contains(l, l) {
+			t.Fatalf("line %d survived reset", l)
+		}
 	}
 }

@@ -1,9 +1,31 @@
 package memsys
 
 import (
+	"fmt"
+
 	"servet/internal/stats"
 	"servet/internal/topology"
 )
+
+// planLevel is one step of a core's precomputed access plan: the cache
+// instance serving the core at this level and the level's latency. The
+// hot path walks a flat slice of these instead of chasing
+// caches[li][coreCache[li][core]] per access.
+type planLevel struct {
+	c       *cache
+	latency float64
+}
+
+// xlatEntry is a core's one-entry translation cache: the page it last
+// translated. A strided run translates once per page instead of once
+// per access. The generation pins the entry to the space's page table
+// version, so a Free (TLB shootdown) invalidates it.
+type xlatEntry struct {
+	sp    *Space
+	gen   int64
+	vpage int64
+	pbase int64
+}
 
 // Instance is the live memory system of one node of a machine: the
 // cache instances of every level, the OS page allocator and one
@@ -14,9 +36,20 @@ type Instance struct {
 	caches [][]*cache
 	// coreCache[levelIdx][core] = index of the instance serving core
 	coreCache [][]int
-	os        *osAllocator
-	pref      []*prefetcher
-	tlbs      []*tlb // nil entries when the machine models no TLB
+	// plan holds every core's access plan, flattened core-major:
+	// plan[core*levels : (core+1)*levels].
+	plan   []planLevel
+	levels int
+	os     *osAllocator
+	pref   []*prefetcher
+	tlbs   []*tlb // nil entries when the machine models no TLB
+	xlat   []xlatEntry
+	// pageShift/pageMask split an address into (vpage, offset) without
+	// division; page sizes are validated powers of two.
+	pageShift uint
+	pageMask  int64
+	memLat    float64
+	tlbMiss   float64
 	spaceSeq  int64
 }
 
@@ -40,7 +73,14 @@ func NewInstance(m *topology.Machine, seed int64) *Instance {
 // measurement of a sharded sweep gets an identical-by-construction
 // memory system no matter which worker builds it or in what order.
 func NewInstanceAt(m *topology.Machine, seed int64, keys ...int64) *Instance {
-	in := &Instance{m: m}
+	if m.PageBytes <= 0 || m.PageBytes&(m.PageBytes-1) != 0 {
+		panic(fmt.Sprintf("memsys: page size %d bytes is not a positive power of two", m.PageBytes))
+	}
+	in := &Instance{m: m, levels: len(m.Caches), memLat: m.Memory.LatencyCycles, tlbMiss: m.TLBMissCycles}
+	for ps := m.PageBytes; ps > 1; ps >>= 1 {
+		in.pageShift++
+	}
+	in.pageMask = m.PageBytes - 1
 	in.caches = make([][]*cache, len(m.Caches))
 	in.coreCache = make([][]int, len(m.Caches))
 	for li := range m.Caches {
@@ -54,10 +94,20 @@ func NewInstanceAt(m *topology.Machine, seed int64, keys ...int64) *Instance {
 			in.coreCache[li][core] = spec.CacheInstance(core)
 		}
 	}
+	in.plan = make([]planLevel, m.CoresPerNode*in.levels)
+	for core := 0; core < m.CoresPerNode; core++ {
+		for li := range m.Caches {
+			in.plan[core*in.levels+li] = planLevel{
+				c:       in.caches[li][in.coreCache[li][core]],
+				latency: m.Caches[li].LatencyCycles,
+			}
+		}
+	}
 	placement := int64(stats.MixKeys(append([]int64{placementDomain, seed}, keys...)...))
 	in.os = newOSAllocator(placement, m.PhysPagesPerNode, m.PageColoring, colorCount(m))
 	in.pref = make([]*prefetcher, m.CoresPerNode)
 	in.tlbs = make([]*tlb, m.CoresPerNode)
+	in.xlat = make([]xlatEntry, m.CoresPerNode)
 	for i := range in.pref {
 		in.pref[i] = &prefetcher{maxStride: m.PrefetchMaxStrideBytes}
 		in.tlbs[i] = newTLB(m.TLBEntries)
@@ -94,9 +144,27 @@ func (in *Instance) NewSpace() *Space {
 	return &Space{
 		in:    in,
 		id:    in.spaceSeq,
-		pages: make(map[int64]int64),
 		nextV: in.spaceSeq << 44,
 	}
+}
+
+// planFor returns the core's access plan.
+func (in *Instance) planFor(core int) []planLevel {
+	return in.plan[core*in.levels : (core+1)*in.levels : (core+1)*in.levels]
+}
+
+// translateFor translates vaddr in the space through the core's
+// one-entry translation cache; misses walk the space's page table and
+// refill the entry.
+func (in *Instance) translateFor(core int, sp *Space, vaddr int64) int64 {
+	vpage := vaddr >> in.pageShift
+	e := &in.xlat[core]
+	if e.sp == sp && e.vpage == vpage && e.gen == sp.gen {
+		return e.pbase + (vaddr & in.pageMask)
+	}
+	paddr := sp.translate(vaddr)
+	*e = xlatEntry{sp: sp, gen: sp.gen, vpage: vpage, pbase: paddr &^ in.pageMask}
+	return paddr
 }
 
 // Access performs one load by the given core at vaddr in the space and
@@ -106,37 +174,123 @@ func (in *Instance) NewSpace() *Space {
 // and may install the next line at no cost (stopping at page
 // boundaries, as hardware prefetchers do).
 func (in *Instance) Access(core int, sp *Space, vaddr int64) float64 {
-	paddr := sp.translate(vaddr)
+	return in.accessOne(in.planFor(core), core, sp, vaddr)
+}
+
+// accessOne is the hot path shared by Access and AccessRun: the plan
+// is resolved by the caller so batched runs pay the per-core lookups
+// once.
+func (in *Instance) accessOne(plan []planLevel, core int, sp *Space, vaddr int64) float64 {
+	vpage := vaddr >> in.pageShift
+	return in.accessAt(plan, core, sp, vaddr, in.translateFor(core, sp, vaddr), vpage)
+}
+
+// accessAt performs one access whose translation the caller already
+// resolved: paddr is vaddr's physical address and vpage its virtual
+// page. The strided run translates once per page crossing and feeds
+// every access of the page through here.
+func (in *Instance) accessAt(plan []planLevel, core int, sp *Space, vaddr, paddr, vpage int64) float64 {
 	cost := 0.0
-	if t := in.tlbs[core]; t != nil && !t.access(vaddr/in.m.PageBytes) {
-		cost += in.m.TLBMissCycles
+	if t := in.tlbs[core]; t != nil && !t.access(vpage) {
+		cost += in.tlbMiss
 	}
 	hit := false
-	for li := range in.caches {
-		spec := &in.m.Caches[li]
-		cost += spec.LatencyCycles
-		c := in.caches[li][in.coreCache[li][core]]
-		if c.access(vaddr>>c.lineBits, paddr>>c.lineBits) {
+	for i := range plan {
+		pl := &plan[i]
+		cost += pl.latency
+		if pl.c.access(vaddr>>pl.c.lineBits, paddr>>pl.c.lineBits) {
 			hit = true
 			break
 		}
 	}
 	if !hit {
-		cost += in.m.Memory.LatencyCycles
+		cost += in.memLat
 	}
-	if next, ok := in.pref[core].observe(vaddr, in.m.PageBytes); ok && sp.mapped(next) {
-		in.fill(core, sp, next)
+	if next, ok := in.pref[core].observe(vaddr, in.pageShift); ok {
+		// observe never crosses the page boundary, so next shares
+		// vaddr's page: it is mapped, and its frame is vaddr's. Install
+		// the prefetched line into every level, cost-free.
+		npaddr := paddr&^in.pageMask + next&in.pageMask
+		for i := range plan {
+			c := plan[i].c
+			c.access(next>>c.lineBits, npaddr>>c.lineBits)
+		}
 	}
 	return cost
 }
 
-// fill installs the line containing vaddr into every cache level of
-// the core, without cost accounting (prefetch path).
-func (in *Instance) fill(core int, sp *Space, vaddr int64) {
-	paddr := sp.translate(vaddr)
-	for li := range in.caches {
-		c := in.caches[li][in.coreCache[li][core]]
-		c.access(vaddr>>c.lineBits, paddr>>c.lineBits)
+// AccessRun performs one core's scripted accesses in issue order and
+// returns the access count and their total cost. It is exactly an
+// Access loop — each access's cost is added to a zero accumulator in
+// issue order, so the returned cycles are bit-identical to summing
+// Access results — with the per-core plan, TLB and prefetcher lookups
+// amortized over the whole run.
+func (in *Instance) AccessRun(core int, sp *Space, addrs []int64) (n int64, cycles float64) {
+	in.AccessRunAccum(core, sp, addrs, &cycles, nil)
+	return int64(len(addrs)), cycles
+}
+
+// AccessRunAccum is AccessRun for callers that thread their own
+// accumulators: each access's cost is added to *sumA — and to *sumB
+// when non-nil — in issue order, preserving the exact float summation
+// order of the probe loops (a running total plus a measured-pass
+// total), so batched traversals stay byte-identical to per-access
+// ones.
+func (in *Instance) AccessRunAccum(core int, sp *Space, addrs []int64, sumA, sumB *float64) {
+	plan := in.planFor(core)
+	a := *sumA
+	if sumB == nil {
+		for _, vaddr := range addrs {
+			a += in.accessOne(plan, core, sp, vaddr)
+		}
+		*sumA = a
+		return
+	}
+	b := *sumB
+	for _, vaddr := range addrs {
+		c := in.accessOne(plan, core, sp, vaddr)
+		a += c
+		b += c
+	}
+	*sumA = a
+	*sumB = b
+}
+
+// AccessStrideAccum is AccessRunAccum for one strided traversal —
+// base, base+stride, ... while the offset stays below bytes — without
+// materializing the address slice. The mcalibrator-style probes
+// traverse multi-megabyte arrays per measurement; skipping the slice
+// removes that much allocation and memory traffic from every pass.
+func (in *Instance) AccessStrideAccum(core int, sp *Space, base, bytes, stride int64, sumA, sumB *float64) {
+	plan := in.planFor(core)
+	shift, mask := in.pageShift, in.pageMask
+	// Translate only on page crossings: the page table walk (and the
+	// per-core translation-cache probe) drops out of the per-access
+	// work entirely. Translation is cost-free in the model — the TLB,
+	// which does cost, is probed inside accessAt as always — so the
+	// returned cycles are identical to the per-access path.
+	curVpage, pbase := int64(-1), int64(0)
+	a := *sumA
+	var b float64
+	if sumB != nil {
+		b = *sumB
+	}
+	for off := int64(0); off < bytes; off += stride {
+		vaddr := base + off
+		vpage := vaddr >> shift
+		if vpage != curVpage {
+			pbase = sp.translate(vaddr) &^ mask
+			curVpage = vpage
+		}
+		c := in.accessAt(plan, core, sp, vaddr, pbase+vaddr&mask, vpage)
+		a += c
+		if sumB != nil {
+			b += c
+		}
+	}
+	*sumA = a
+	if sumB != nil {
+		*sumB = b
 	}
 }
 
@@ -149,7 +303,8 @@ func (in *Instance) Cached(level, core int, sp *Space, vaddr int64) bool {
 }
 
 // ResetCaches empties every cache instance and prefetcher, leaving
-// page tables intact. Probes call it between measurements.
+// page tables intact. Probes call it between measurements. Cache
+// backing arrays keep their capacity — see cache.reset.
 func (in *Instance) ResetCaches() {
 	for _, level := range in.caches {
 		for _, c := range level {
@@ -194,6 +349,63 @@ func (s StreamStats) AvgCycles() float64 {
 	return s.Cycles / float64(s.Accesses)
 }
 
+// streamHeap is a binary min-heap of stream indices ordered by
+// (clock, index): the stream RunConcurrent issues next. It replaces
+// the O(streams) min-clock scan of the interleaver with O(log
+// streams) sift operations.
+type streamHeap struct {
+	idx    []int32
+	clocks []float64
+}
+
+func (h *streamHeap) less(a, b int32) bool {
+	if h.clocks[a] != h.clocks[b] {
+		return h.clocks[a] < h.clocks[b]
+	}
+	return a < b
+}
+
+func (h *streamHeap) push(i int32) {
+	h.idx = append(h.idx, i)
+	for c := len(h.idx) - 1; c > 0; {
+		p := (c - 1) / 2
+		if !h.less(h.idx[c], h.idx[p]) {
+			break
+		}
+		h.idx[c], h.idx[p] = h.idx[p], h.idx[c]
+		c = p
+	}
+}
+
+// fix restores the heap after the root's clock grew.
+func (h *streamHeap) fix() {
+	n := len(h.idx)
+	c := 0
+	for {
+		l, r := 2*c+1, 2*c+2
+		min := c
+		if l < n && h.less(h.idx[l], h.idx[min]) {
+			min = l
+		}
+		if r < n && h.less(h.idx[r], h.idx[min]) {
+			min = r
+		}
+		if min == c {
+			return
+		}
+		h.idx[c], h.idx[min] = h.idx[min], h.idx[c]
+		c = min
+	}
+}
+
+// pop removes the root.
+func (h *streamHeap) pop() {
+	n := len(h.idx) - 1
+	h.idx[0] = h.idx[n]
+	h.idx = h.idx[:n]
+	h.fix()
+}
+
 // RunConcurrent interleaves the streams in virtual-time order: at each
 // step the stream with the smallest local clock issues its next
 // access (ties break by core id). Each stream performs `passes`
@@ -202,42 +414,36 @@ func (s StreamStats) AvgCycles() float64 {
 // the mcalibrator code in Fig. 1 of the paper. Concurrent streams
 // hitting a shared cache thrash each other exactly as the Fig. 5
 // benchmark expects.
+//
+// The interleaver keeps the live streams in a (clock, index) min-heap
+// — identical selection order to the historical linear scan — and,
+// once a single stream remains, finishes it through the batched
+// AccessRun path.
 func RunConcurrent(in *Instance, streams []Stream, passes int) []StreamStats {
 	stats := make([]StreamStats, len(streams))
 	if passes < 2 {
 		passes = 2
 	}
 	type state struct {
-		clock float64
-		pos   int
-		pass  int
-		done  bool
+		pos  int
+		pass int
 	}
 	st := make([]state, len(streams))
-	remaining := 0
+	h := &streamHeap{
+		idx:    make([]int32, 0, len(streams)),
+		clocks: make([]float64, len(streams)),
+	}
 	for i := range streams {
 		if len(streams[i].Addrs) > 0 {
-			remaining++
-		} else {
-			st[i].done = true
+			h.push(int32(i))
 		}
 	}
-	for remaining > 0 {
-		// Pick the live stream with the smallest clock (tie: lowest
-		// index, which sorts by core id for the suite's callers).
-		sel := -1
-		for i := range st {
-			if st[i].done {
-				continue
-			}
-			if sel < 0 || st[i].clock < st[sel].clock {
-				sel = i
-			}
-		}
+	for len(h.idx) > 1 {
+		sel := h.idx[0]
 		s := &st[sel]
 		str := &streams[sel]
 		cost := in.Access(str.Core, str.Space, str.Addrs[s.pos])
-		s.clock += cost
+		h.clocks[sel] += cost
 		if s.pass > 0 {
 			stats[sel].Accesses++
 			stats[sel].Cycles += cost
@@ -247,9 +453,28 @@ func RunConcurrent(in *Instance, streams []Stream, passes int) []StreamStats {
 			s.pos = 0
 			s.pass++
 			if s.pass == passes {
-				s.done = true
-				remaining--
+				h.pop()
+				continue
 			}
+		}
+		h.fix()
+	}
+	// Tail: the last live stream runs to completion uncontended — no
+	// interleaving decisions remain, so batch it per pass segment.
+	if len(h.idx) == 1 {
+		sel := h.idx[0]
+		s := &st[sel]
+		str := &streams[sel]
+		for s.pass < passes {
+			seg := str.Addrs[s.pos:]
+			if s.pass > 0 {
+				in.AccessRunAccum(str.Core, str.Space, seg, &h.clocks[sel], &stats[sel].Cycles)
+				stats[sel].Accesses += int64(len(seg))
+			} else {
+				in.AccessRunAccum(str.Core, str.Space, seg, &h.clocks[sel], nil)
+			}
+			s.pos = 0
+			s.pass++
 		}
 	}
 	return stats

@@ -148,6 +148,7 @@ func TestPrefetcherHidesSmallStrides(t *testing.T) {
 func TestPrefetcherStopsAtPageBoundary(t *testing.T) {
 	p := &prefetcher{maxStride: 512}
 	page := int64(4096)
+	const pageShift = 12
 	// A 256-byte stride stream running across a page border: every
 	// issued prefetch must stay within the page of the access that
 	// triggered it, and at least one prefetch must fire once the
@@ -155,7 +156,7 @@ func TestPrefetcherStopsAtPageBoundary(t *testing.T) {
 	fired := 0
 	for off := int64(0); off <= 8*256; off += 256 {
 		vaddr := int64(4096-1024) + off
-		next, ok := p.observe(vaddr, page)
+		next, ok := p.observe(vaddr, pageShift)
 		if !ok {
 			continue
 		}
@@ -176,7 +177,7 @@ func TestPrefetcherStopsAtPageBoundary(t *testing.T) {
 func TestPrefetcherIgnoresLargeStride(t *testing.T) {
 	p := &prefetcher{maxStride: 512}
 	for i := int64(0); i < 10; i++ {
-		if _, ok := p.observe(i*1024, 4096); ok {
+		if _, ok := p.observe(i*1024, 12); ok {
 			t.Fatal("prefetcher fired on a 1 KB stride")
 		}
 	}
@@ -185,7 +186,7 @@ func TestPrefetcherIgnoresLargeStride(t *testing.T) {
 func TestPrefetcherDisabled(t *testing.T) {
 	p := &prefetcher{maxStride: 0}
 	for i := int64(0); i < 10; i++ {
-		if _, ok := p.observe(i*64, 4096); ok {
+		if _, ok := p.observe(i*64, 12); ok {
 			t.Fatal("disabled prefetcher fired")
 		}
 	}
@@ -261,13 +262,13 @@ func TestSpaceAllocFreeCycle(t *testing.T) {
 	m := topology.Dempsey()
 	in := NewInstance(m, 8)
 	sp := in.NewSpace()
-	before := len(in.os.used)
+	before := in.os.inUse
 	a := sp.Alloc(64 * topology.KB)
-	if got := len(in.os.used) - before; got != 16 {
+	if got := in.os.inUse - before; got != 16 {
 		t.Errorf("allocated %d pages, want 16", got)
 	}
 	sp.Free(a)
-	if got := len(in.os.used) - before; got != 0 {
+	if got := in.os.inUse - before; got != 0 {
 		t.Errorf("%d pages leaked", got)
 	}
 }

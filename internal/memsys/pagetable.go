@@ -23,9 +23,13 @@ import (
 type osAllocator struct {
 	seed      int64
 	physPages int64
-	used      map[int64]bool
-	coloring  bool
-	colors    int64
+	// used is a frame bitset, allocated on the first allocation: the
+	// placement chains probe it once per attempt, and a flat bit test
+	// beats a hash-map lookup on that path.
+	used     []uint64
+	inUse    int64
+	coloring bool
+	colors   int64
 }
 
 func newOSAllocator(seed int64, physPages int64, coloring bool, colors int64) *osAllocator {
@@ -35,10 +39,18 @@ func newOSAllocator(seed int64, physPages int64, coloring bool, colors int64) *o
 	return &osAllocator{
 		seed:      seed,
 		physPages: physPages,
-		used:      make(map[int64]bool),
 		coloring:  coloring,
 		colors:    colors,
 	}
+}
+
+func (o *osAllocator) isUsed(p int64) bool {
+	return o.used[p>>6]&(1<<uint(p&63)) != 0
+}
+
+func (o *osAllocator) take(p int64) {
+	o.used[p>>6] |= 1 << uint(p&63)
+	o.inUse++
 }
 
 // allocPage returns a free physical page for the given (space, vpage)
@@ -48,8 +60,11 @@ func newOSAllocator(seed int64, physPages int64, coloring bool, colors int64) *o
 // beyond what the probes allocate, so exhaustion is a bug in the
 // caller.
 func (o *osAllocator) allocPage(space, vpage int64) int64 {
-	if int64(len(o.used)) >= o.physPages {
+	if o.inUse >= o.physPages {
 		panic("memsys: out of physical pages")
+	}
+	if o.used == nil {
+		o.used = make([]uint64, (o.physPages+63)/64)
 	}
 	if o.coloring {
 		color := vpage % o.colors
@@ -59,8 +74,8 @@ func (o *osAllocator) allocPage(space, vpage int64) int64 {
 		}
 		for attempt := int64(0); attempt < 1_000_000; attempt++ {
 			p := color + o.colors*stats.MixBound(perColor, o.seed, space, vpage, attempt)
-			if !o.used[p] {
-				o.used[p] = true
+			if !o.isUsed(p) {
+				o.take(p)
 				return p
 			}
 		}
@@ -71,26 +86,46 @@ func (o *osAllocator) allocPage(space, vpage int64) int64 {
 	// it terminates.
 	for attempt := int64(0); ; attempt++ {
 		p := stats.MixBound(o.physPages, o.seed, space, vpage, attempt)
-		if !o.used[p] {
-			o.used[p] = true
+		if !o.isUsed(p) {
+			o.take(p)
 			return p
 		}
 	}
 }
 
 // freePage returns a frame to the pool.
-func (o *osAllocator) freePage(p int64) { delete(o.used, p) }
+func (o *osAllocator) freePage(p int64) {
+	o.used[p>>6] &^= 1 << uint(p&63)
+	o.inUse--
+}
+
+// pageRegion is the page table of one allocation: a dense frame slice
+// indexed by (vpage - first). Allocations never overlap and bases grow
+// monotonically, so a space's regions stay sorted by first page.
+type pageRegion struct {
+	first  int64   // first virtual page of the region
+	ppages []int64 // physical frame of page first+i
+}
 
 // Space is a process address space: a private virtual address range
 // with its own page table. Each probe process (thread) of the suite
 // runs in its own space. The space's id feeds the placement hash, so
 // the k-th space of an instance always draws the same frame candidates
 // for a given virtual page.
+//
+// The page table is a sorted list of dense per-Array regions rather
+// than a vpage->ppage map: translation is an indexed load after a
+// (usually cached) region lookup, and a strided traversal touches the
+// region-lookup slow path only when it crosses into another
+// allocation. Sparse spaces — many small allocations — fall back to a
+// binary search over the region list.
 type Space struct {
-	in    *Instance
-	id    int64
-	pages map[int64]int64 // vpage -> ppage
-	nextV int64
+	in      *Instance
+	id      int64
+	regions []pageRegion
+	last    int   // region index hit by the most recent lookup
+	gen     int64 // bumped on Free; invalidates per-core translation caches
+	nextV   int64
 }
 
 // Array is a page-aligned allocation inside a Space.
@@ -110,50 +145,94 @@ func (sp *Space) Alloc(bytes int64) *Array {
 	if bytes <= 0 {
 		panic("memsys: non-positive allocation")
 	}
-	ps := sp.in.m.PageBytes
+	in := sp.in
 	base := sp.nextV
-	npages := (bytes + ps - 1) / ps
-	for i := int64(0); i < npages; i++ {
-		vpage := base/ps + i
-		sp.pages[vpage] = sp.in.os.allocPage(sp.id, vpage)
+	first := base >> in.pageShift
+	npages := (bytes + in.pageMask) >> in.pageShift
+	ppages := make([]int64, npages)
+	for i := range ppages {
+		ppages[i] = in.os.allocPage(sp.id, first+int64(i))
 	}
+	sp.regions = append(sp.regions, pageRegion{first: first, ppages: ppages})
 	// Leave a guard page between allocations.
-	sp.nextV = base + (npages+1)*ps
+	sp.nextV = base + (npages+1)*in.m.PageBytes
 	return &Array{sp: sp, Base: base, Bytes: bytes}
 }
 
-// Free unmaps the array and returns its frames to the OS.
+// Free unmaps the array and returns its frames to the OS. Unmapping
+// performs the TLB shootdown real kernels do: the freed pages are
+// invalidated in every core's TLB and the per-core translation caches
+// of this space are dropped, so no stale translation can serve a
+// later access.
 func (sp *Space) Free(a *Array) {
 	if a.sp != sp {
 		panic("memsys: freeing array from another space")
 	}
-	ps := sp.in.m.PageBytes
-	npages := (a.Bytes + ps - 1) / ps
-	for i := int64(0); i < npages; i++ {
-		vpage := a.Base/ps + i
-		p, ok := sp.pages[vpage]
-		if !ok {
-			panic("memsys: double free")
-		}
-		sp.in.os.freePage(p)
-		delete(sp.pages, vpage)
+	in := sp.in
+	first := a.Base >> in.pageShift
+	npages := (a.Bytes + in.pageMask) >> in.pageShift
+	ri := sp.region(first)
+	if ri < 0 || sp.regions[ri].first != first || int64(len(sp.regions[ri].ppages)) != npages {
+		panic("memsys: double free")
 	}
+	for _, p := range sp.regions[ri].ppages {
+		in.os.freePage(p)
+	}
+	sp.regions = append(sp.regions[:ri], sp.regions[ri+1:]...)
+	sp.last = 0
+	sp.gen++ // drop every per-core cached translation of this space
+	for _, t := range in.tlbs {
+		if t == nil {
+			continue
+		}
+		for i := int64(0); i < npages; i++ {
+			t.invalidate(first + i)
+		}
+	}
+}
+
+// region returns the index of the region containing vpage, or -1. The
+// last hit is cached: strided traversals resolve against it without
+// searching.
+func (sp *Space) region(vpage int64) int {
+	if sp.last < len(sp.regions) {
+		r := &sp.regions[sp.last]
+		if d := vpage - r.first; d >= 0 && d < int64(len(r.ppages)) {
+			return sp.last
+		}
+	}
+	lo, hi := 0, len(sp.regions)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		r := &sp.regions[mid]
+		switch d := vpage - r.first; {
+		case d < 0:
+			hi = mid
+		case d < int64(len(r.ppages)):
+			sp.last = mid
+			return mid
+		default:
+			lo = mid + 1
+		}
+	}
+	return -1
 }
 
 // translate maps a virtual address to a physical one. Unmapped accesses
 // panic: the probes only touch what they allocate.
 func (sp *Space) translate(vaddr int64) int64 {
-	ps := sp.in.m.PageBytes
-	ppage, ok := sp.pages[vaddr/ps]
-	if !ok {
+	in := sp.in
+	vpage := vaddr >> in.pageShift
+	ri := sp.region(vpage)
+	if ri < 0 {
 		panic(fmt.Sprintf("memsys: access to unmapped address %#x", vaddr))
 	}
-	return ppage*ps + vaddr%ps
+	r := &sp.regions[ri]
+	return r.ppages[vpage-r.first]<<in.pageShift + (vaddr & in.pageMask)
 }
 
 // mapped reports whether the virtual address is mapped (the prefetcher
 // must not fault).
 func (sp *Space) mapped(vaddr int64) bool {
-	_, ok := sp.pages[vaddr/sp.in.m.PageBytes]
-	return ok
+	return sp.region(vaddr>>sp.in.pageShift) >= 0
 }

@@ -20,8 +20,10 @@ type prefetcher struct {
 
 // observe records an access and returns the address to prefetch, if
 // any. A stream is recognized after two consecutive accesses with the
-// same non-zero stride whose magnitude is at most maxStride.
-func (p *prefetcher) observe(vaddr, pageBytes int64) (next int64, ok bool) {
+// same non-zero stride whose magnitude is at most maxStride. The page
+// is identified by its shift (pages are powers of two), keeping the
+// per-access boundary check division-free.
+func (p *prefetcher) observe(vaddr int64, pageShift uint) (next int64, ok bool) {
 	if p.maxStride <= 0 {
 		return 0, false
 	}
@@ -39,7 +41,7 @@ func (p *prefetcher) observe(vaddr, pageBytes int64) (next int64, ok bool) {
 	if p.streak >= 2 {
 		next = vaddr + p.stride
 		// Do not cross the page boundary.
-		if next/pageBytes == vaddr/pageBytes && next >= 0 {
+		if next >= 0 && next>>pageShift == vaddr>>pageShift {
 			return next, true
 		}
 	}

@@ -37,4 +37,18 @@ func (t *tlb) access(vpage int64) bool {
 	return false
 }
 
+// invalidate drops the cached translation of one virtual page — the
+// TLB-shootdown a real OS performs when it unmaps a page. Remaining
+// entries keep their recency order. Without it a freed page's entry
+// would linger, falsely hitting if the virtual page were ever remapped
+// and squatting on capacity that live translations should use.
+func (t *tlb) invalidate(vpage int64) {
+	for i, p := range t.vpages {
+		if p == vpage {
+			t.vpages = append(t.vpages[:i], t.vpages[i+1:]...)
+			return
+		}
+	}
+}
+
 func (t *tlb) reset() { t.vpages = t.vpages[:0] }

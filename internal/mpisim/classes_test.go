@@ -1,0 +1,88 @@
+package mpisim
+
+import (
+	"testing"
+
+	"servet/internal/netsim"
+	"servet/internal/sim"
+	"servet/internal/topology"
+)
+
+// testWorld builds a world with no ranks, for channelFor inspection.
+func testWorld(m *topology.Machine) *World {
+	w := &World{m: m, k: sim.New(), shm: make([]*sim.Resource, m.Nodes)}
+	if m.Net != nil {
+		w.fabric = netsim.New(w.k, m.Net, m.Nodes)
+	}
+	for i := range w.shm {
+		w.shm[i] = sim.NewResource(w.k)
+	}
+	return w
+}
+
+// TestChannelClassMatchesChannelFor pins ChannelClass to channelFor:
+// for every directed core pair of every model, the class must name the
+// exact channel channelFor selects.
+func TestChannelClassMatchesChannelFor(t *testing.T) {
+	for name, m := range topology.Models(2) {
+		w := testWorld(m)
+		total := m.TotalCores()
+		for a := 0; a < total; a++ {
+			for b := 0; b < total; b++ {
+				class := ChannelClass(m, a, b)
+				got := w.channelFor(a, b).name
+				var want string
+				switch {
+				case class == classNetwork:
+					want = "network"
+				case class == classSelf:
+					want = "self"
+				case class == classNodeDefault:
+					want = "node-default"
+				case class >= 0 && class < len(m.Comm.Channels):
+					want = m.Comm.Channels[class].Name
+				default:
+					t.Fatalf("%s: pair (%d,%d): invalid class %d", name, a, b, class)
+				}
+				if got != want {
+					t.Fatalf("%s: pair (%d,%d): class %d names %q, channelFor picked %q",
+						name, a, b, class, want, got)
+				}
+			}
+		}
+	}
+}
+
+// TestPingPongClassParity verifies the isomorphism PairClass promises:
+// every pair's ping-pong latency is bitwise identical to the latency
+// of the first pair of its class. The communication-costs sweep's
+// memoization is exactly this substitution.
+func TestPingPongClassParity(t *testing.T) {
+	const bytes, reps = 4 * topology.KB, 2
+	for name, m := range topology.Models(2) {
+		rep := map[[2]int]float64{}
+		total := m.TotalCores()
+		if total < 2 {
+			continue // single-core model: no pairs to classify
+		}
+		for a := 0; a < total; a++ {
+			for b := a + 1; b < total; b++ {
+				l, err := PingPongOneWayNS(m, a, b, bytes, reps)
+				if err != nil {
+					t.Fatalf("%s: ping-pong %d<->%d: %v", name, a, b, err)
+				}
+				class := PairClass(m, a, b)
+				if first, ok := rep[class]; !ok {
+					rep[class] = l
+				} else if l != first {
+					t.Fatalf("%s: pair (%d,%d) class %v latency %v != representative %v",
+						name, a, b, class, l, first)
+				}
+			}
+		}
+		if len(rep) == 0 {
+			t.Fatalf("%s: no pairs measured", name)
+		}
+		t.Logf("%s: %d pair classes over %d cores", name, len(rep), total)
+	}
+}
