@@ -6,11 +6,11 @@
 GO ?= go
 
 # Perf-trajectory knobs.
-BENCH_N        ?= 6
+BENCH_N        ?= 7
 BENCH_OUT      ?= BENCH_$(BENCH_N).json
 BENCH_COUNT    ?= 3
 BENCH_REGEX    ?= .
-BENCH_PKGS     ?= ./internal/memsys ./internal/core
+BENCH_PKGS     ?= ./internal/memsys ./internal/core ./internal/tune
 BENCH_BASELINE ?=
 
 .PHONY: build test vet bench clean

@@ -13,7 +13,8 @@
 //	PUT  /v1/reports/{fp}                     publish a measured report
 //	GET  /v1/reports/{fp}/probes/{probe}      one probe's section
 //	POST /v1/run                              run stale probes on demand
-//	GET  /v1/stats                            run counters
+//	POST /v1/tune                             search a parameter space server-side
+//	GET  /v1/stats                            run + tune counters
 //	GET  /healthz                             liveness
 //
 // Usage:

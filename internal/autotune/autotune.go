@@ -249,17 +249,35 @@ func AggregationAdvice(layer *report.CommLayer, msgBytes int64, nMessages int) (
 }
 
 // LatencyForSize estimates the one-way latency (µs) of a message of
-// the given size on a layer by interpolating its bandwidth sweep
-// (linear in size between measured points, extrapolated with the edge
-// bandwidths beyond them).
+// the given size on a layer by interpolating its bandwidth sweep:
+// linear in size between measured points, extrapolated along the
+// first segment's slope below the sweep (clamped at zero — at size 0
+// this is the pure wire+software latency), and with the plateau
+// bandwidth beyond it. With no sweep the probe latency stands in; a
+// single point scales proportionally through the origin.
 func LatencyForSize(layer *report.CommLayer, bytes int64) float64 {
 	pts := layer.Bandwidth
 	if len(pts) == 0 {
 		return layer.LatencyUS
 	}
-	if len(pts) == 1 || bytes <= pts[0].Bytes {
-		// Scale by the first point's effective bandwidth.
+	if len(pts) == 1 {
+		// One point fixes only the effective bandwidth, not a latency
+		// intercept: scale through the origin.
 		return pts[0].OneWayUS * float64(bytes) / float64(pts[0].Bytes)
+	}
+	if bytes <= pts[0].Bytes {
+		// Below the sweep: continue the first segment's slope, so the
+		// estimate stays continuous at pts[0] and keeps the fixed
+		// per-message cost small sizes pay (proportional scaling here
+		// would make tiny messages look free and bias every
+		// aggregation decision toward sending them separately).
+		b0, b1 := float64(pts[0].Bytes), float64(pts[1].Bytes)
+		slope := (pts[1].OneWayUS - pts[0].OneWayUS) / (b1 - b0)
+		lat := pts[0].OneWayUS - slope*(b0-float64(bytes))
+		if lat < 0 {
+			return 0
+		}
+		return lat
 	}
 	for i := 1; i < len(pts); i++ {
 		if bytes <= pts[i].Bytes {

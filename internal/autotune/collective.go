@@ -29,7 +29,7 @@ func ChooseBcast(layer *report.CommLayer, nranks int, msgBytes int64) (Collectiv
 		return CollectiveChoice{}, fmt.Errorf("autotune: broadcast needs at least 2 ranks, got %d", nranks)
 	}
 	oneWay := LatencyForSize(layer, msgBytes)
-	wire := zeroSizeLatency(layer)
+	wire := LatencyForSize(layer, 0)
 	if wire > oneWay {
 		wire = oneWay
 	}
@@ -47,21 +47,4 @@ func ChooseBcast(layer *report.CommLayer, nranks int, msgBytes int64) (Collectiv
 		choice.Algorithm = "flat"
 	}
 	return choice, nil
-}
-
-// zeroSizeLatency extrapolates the layer's bandwidth sweep down to a
-// zero-byte message, approximating the pure wire+software latency.
-func zeroSizeLatency(layer *report.CommLayer) float64 {
-	pts := layer.Bandwidth
-	if len(pts) < 2 {
-		return layer.LatencyUS
-	}
-	b0, b1 := float64(pts[0].Bytes), float64(pts[1].Bytes)
-	y0, y1 := pts[0].OneWayUS, pts[1].OneWayUS
-	slope := (y1 - y0) / (b1 - b0)
-	zero := y0 - slope*b0
-	if zero < 0 {
-		return 0
-	}
-	return zero
 }

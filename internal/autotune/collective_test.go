@@ -113,7 +113,7 @@ func TestChooseBcastErrors(t *testing.T) {
 	}
 }
 
-func TestZeroSizeLatencyExtrapolation(t *testing.T) {
+func TestLatencyForSizeBelowSweep(t *testing.T) {
 	layer := &report.CommLayer{
 		LatencyUS: 99,
 		Bandwidth: []report.BWPoint{
@@ -121,19 +121,56 @@ func TestZeroSizeLatencyExtrapolation(t *testing.T) {
 			{Bytes: 2000, OneWayUS: 12},
 		},
 	}
-	// Slope 1us/1000B: zero-size = 10us.
-	if got := zeroSizeLatency(layer); got != 10 {
-		t.Errorf("zeroSizeLatency = %g, want 10", got)
+	// Below the sweep the first segment's slope (1us/1000B) continues:
+	// zero-size = 10us, and the curve is continuous at the first point.
+	if got := LatencyForSize(layer, 0); got != 10 {
+		t.Errorf("LatencyForSize(0) = %g, want 10", got)
 	}
-	// Negative extrapolation clamps to zero.
+	if got := LatencyForSize(layer, 500); got != 10.5 {
+		t.Errorf("LatencyForSize(500) = %g, want 10.5", got)
+	}
+	if got := LatencyForSize(layer, 1000); got != 11 {
+		t.Errorf("LatencyForSize(1000) = %g, want 11 (continuity at the first point)", got)
+	}
+	// A steep first segment extrapolates negative: clamps to zero.
 	layer.Bandwidth[0].OneWayUS = 1
 	layer.Bandwidth[1].OneWayUS = 50
-	if got := zeroSizeLatency(layer); got != 0 {
-		t.Errorf("clamped zeroSizeLatency = %g, want 0", got)
+	if got := LatencyForSize(layer, 0); got != 0 {
+		t.Errorf("clamped LatencyForSize(0) = %g, want 0", got)
 	}
-	// Single point: layer latency.
-	layer.Bandwidth = layer.Bandwidth[:1]
-	if got := zeroSizeLatency(layer); got != 99 {
-		t.Errorf("fallback zeroSizeLatency = %g, want 99", got)
+}
+
+func TestLatencyForSizeDegenerateLayers(t *testing.T) {
+	// Empty layer: the probe latency stands in at every size.
+	empty := &report.CommLayer{LatencyUS: 7}
+	for _, bytes := range []int64{0, 1, 1 << 20} {
+		if got := LatencyForSize(empty, bytes); got != 7 {
+			t.Errorf("empty layer: LatencyForSize(%d) = %g, want 7", bytes, got)
+		}
+	}
+	// Single-point layer: proportional through the origin (one point
+	// fixes only a bandwidth, not a latency intercept).
+	single := &report.CommLayer{
+		LatencyUS: 99,
+		Bandwidth: []report.BWPoint{{Bytes: 1000, OneWayUS: 10}},
+	}
+	if got := LatencyForSize(single, 0); got != 0 {
+		t.Errorf("single point: LatencyForSize(0) = %g, want 0", got)
+	}
+	if got := LatencyForSize(single, 500); got != 5 {
+		t.Errorf("single point: LatencyForSize(500) = %g, want 5", got)
+	}
+	if got := LatencyForSize(single, 2000); got != 20 {
+		t.Errorf("single point: LatencyForSize(2000) = %g, want 20", got)
+	}
+	// ChooseBcast still works on both degenerate layers.
+	for _, layer := range []*report.CommLayer{empty, single} {
+		choice, err := ChooseBcast(layer, 8, 1024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if choice.Algorithm == "" {
+			t.Errorf("no advice on degenerate layer %+v", layer)
+		}
 	}
 }

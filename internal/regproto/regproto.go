@@ -7,7 +7,10 @@
 // the server would be a cycle).
 package regproto
 
-import "servet/internal/report"
+import (
+	"servet/internal/report"
+	"servet/internal/tune"
+)
 
 // URL paths of the registry API.
 const (
@@ -16,6 +19,10 @@ const (
 	ReportsPath = "/v1/reports"
 	// RunPath executes an on-demand probe run (POST).
 	RunPath = "/v1/run"
+	// TunePath executes a search-driven tune against a fingerprint's
+	// report (POST), resolving the report through the run machinery
+	// first.
+	TunePath = "/v1/tune"
 	// StatsPath reports run counters (GET).
 	StatsPath = "/v1/stats"
 	// HealthPath answers liveness checks (GET).
@@ -119,6 +126,31 @@ type ProbeSection struct {
 	TLB *report.TLBResult `json:"tlb,omitempty"`
 }
 
+// TuneRequest asks the server to search a parameter space for the
+// configuration minimizing an objective against a machine's report.
+// The report is resolved through the same machinery as a POST run
+// (stored sections reused, stale probes measured first), then the
+// tune engine runs server-side. Identical concurrent requests
+// coalesce into one search; the result is deterministic, so every
+// waiter gets byte-identical bytes.
+type TuneRequest struct {
+	// Run identifies the machine and the probe run that produces (or
+	// restores) the report to tune against.
+	Run RunRequest `json:"run"`
+	// Space is the parameter space to search.
+	Space tune.Space `json:"space"`
+	// Objective names a registered objective plus its parameters.
+	Objective tune.ObjectiveSpec `json:"objective"`
+	// Strategy names the search strategy (empty: auto).
+	Strategy string `json:"strategy,omitempty"`
+	// Seed drives the search's stochastic decisions (0: the engine
+	// default). Distinct from Run.Seed, which drives the probes.
+	Seed int64 `json:"seed,omitempty"`
+	// Budget caps the number of objective evaluations (0: the engine
+	// default).
+	Budget int `json:"budget,omitempty"`
+}
+
 // Stats are the registry's run counters.
 type Stats struct {
 	// RunSessions counts engine sessions executed by POST runs
@@ -130,4 +162,12 @@ type Stats struct {
 	// ProbesExecuted counts probes the engine actually measured (a
 	// fully cached run executes none).
 	ProbesExecuted int64 `json:"probes_executed"`
+	// TuneRequests counts POST-tune requests served.
+	TuneRequests int64 `json:"tune_requests"`
+	// TunesCoalesced counts POST-tune requests that piggybacked on an
+	// identical in-flight search instead of starting their own.
+	TunesCoalesced int64 `json:"tunes_coalesced"`
+	// TuneEvaluations counts objective evaluations the tune engine
+	// executed (coalesced requests share one search's evaluations).
+	TuneEvaluations int64 `json:"tune_evaluations"`
 }

@@ -3,67 +3,66 @@ package server
 import (
 	"errors"
 	"sync"
-
-	"servet/internal/report"
 )
 
 // flightGroup coalesces concurrent duplicate work: while a call for a
 // key is in flight, later callers for the same key wait for its result
 // instead of starting their own. It is the registry's guard against a
-// thundering herd of identical POST-run requests — the probe engine
-// runs once, every waiter gets the one report.
+// thundering herd of identical POST requests — the probe engine (or
+// the tune engine) runs once, every waiter gets the one result.
 //
 // Unlike a cache, a flightGroup holds nothing after the call returns:
 // the next request for the key after completion starts fresh (and
 // then typically restores everything from the Store anyway).
-type flightGroup struct {
+type flightGroup[T any] struct {
 	mu    sync.Mutex
-	calls map[string]*flightCall
+	calls map[string]*flightCall[T]
 }
 
-type flightCall struct {
+type flightCall[T any] struct {
 	done chan struct{}
-	rep  *report.Report
+	val  T
 	err  error
 }
 
 // errRunPanicked is what waiters observe when the leader's fn
 // panicked instead of returning.
-var errRunPanicked = errors.New("server: coalesced run panicked")
+var errRunPanicked = errors.New("server: coalesced call panicked")
 
 // do runs fn under the key, unless a call for the key is already in
 // flight, in which case it waits for that call and returns its result
-// with shared=true. The report is shared between every waiter; callers
+// with shared=true. The value is shared between every waiter; callers
 // must treat it as read-only (the registry only serializes it).
 //
 // Cleanup is deferred, so a panicking fn (net/http recovers it for
 // the leader's goroutine) still removes the call and releases the
 // waiters — with errRunPanicked — instead of wedging the key forever.
-func (g *flightGroup) do(key string, fn func() (*report.Report, error)) (rep *report.Report, shared bool, err error) {
+func (g *flightGroup[T]) do(key string, fn func() (T, error)) (val T, shared bool, err error) {
 	g.mu.Lock()
 	if g.calls == nil {
-		g.calls = make(map[string]*flightCall)
+		g.calls = make(map[string]*flightCall[T])
 	}
 	if c, ok := g.calls[key]; ok {
 		g.mu.Unlock()
 		<-c.done
-		return c.rep, true, c.err
+		return c.val, true, c.err
 	}
-	c := &flightCall{done: make(chan struct{})}
+	c := &flightCall[T]{done: make(chan struct{})}
 	g.calls[key] = c
 	g.mu.Unlock()
 
 	completed := false
 	defer func() {
 		if !completed {
-			c.rep, c.err = nil, errRunPanicked
+			var zero T
+			c.val, c.err = zero, errRunPanicked
 		}
 		g.mu.Lock()
 		delete(g.calls, key)
 		g.mu.Unlock()
 		close(c.done)
 	}()
-	c.rep, c.err = fn()
+	c.val, c.err = fn()
 	completed = true
-	return c.rep, false, c.err
+	return c.val, false, c.err
 }

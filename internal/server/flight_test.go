@@ -15,7 +15,7 @@ import (
 // of coalescing onto a dead flight. (Plain coalescing is covered at
 // the HTTP level by TestRunCoalescesConcurrentRequests.)
 func TestFlightGroupPanicReleasesWaiters(t *testing.T) {
-	var g flightGroup
+	var g flightGroup[*report.Report]
 	started := make(chan struct{})
 	waiterReady := make(chan struct{})
 

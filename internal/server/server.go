@@ -25,6 +25,7 @@ import (
 	"servet"
 	"servet/internal/regproto"
 	"servet/internal/report"
+	"servet/internal/tune"
 )
 
 // maxReportBytes bounds PUT and POST bodies; the largest real report
@@ -38,7 +39,8 @@ type Registry struct {
 	parallelism int
 	baseCtx     context.Context
 	mux         *http.ServeMux
-	flight      flightGroup
+	flight      flightGroup[*report.Report]
+	tuneFlight  flightGroup[*tune.Result]
 
 	// fpLocks serializes every store-entry read-modify-write per
 	// fingerprint (on-demand runs and PUTs): a session run is
@@ -52,6 +54,10 @@ type Registry struct {
 	runSessions    atomic.Int64
 	runsCoalesced  atomic.Int64
 	probesExecuted atomic.Int64
+
+	tuneRequests    atomic.Int64
+	tunesCoalesced  atomic.Int64
+	tuneEvaluations atomic.Int64
 }
 
 // fingerprintLock returns the mutex serializing writes to one
@@ -103,6 +109,7 @@ func New(store Store, opts ...Option) *Registry {
 	mux.HandleFunc("PUT "+regproto.ReportsPath+"/{fingerprint}", reg.handlePutReport)
 	mux.HandleFunc("GET "+regproto.ReportsPath+"/{fingerprint}/probes/{probe}", reg.handleGetProbe)
 	mux.HandleFunc("POST "+regproto.RunPath, reg.handleRun)
+	mux.HandleFunc("POST "+regproto.TunePath, reg.handleTune)
 	mux.HandleFunc("GET "+regproto.StatsPath, reg.handleStats)
 	mux.HandleFunc("GET "+regproto.HealthPath, func(w http.ResponseWriter, _ *http.Request) {
 		w.Write([]byte("ok\n"))
@@ -119,9 +126,12 @@ func (reg *Registry) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 // Stats returns the registry's run counters.
 func (reg *Registry) Stats() regproto.Stats {
 	return regproto.Stats{
-		RunSessions:    reg.runSessions.Load(),
-		RunsCoalesced:  reg.runsCoalesced.Load(),
-		ProbesExecuted: reg.probesExecuted.Load(),
+		RunSessions:     reg.runSessions.Load(),
+		RunsCoalesced:   reg.runsCoalesced.Load(),
+		ProbesExecuted:  reg.probesExecuted.Load(),
+		TuneRequests:    reg.tuneRequests.Load(),
+		TunesCoalesced:  reg.tunesCoalesced.Load(),
+		TuneEvaluations: reg.tuneEvaluations.Load(),
 	}
 }
 
@@ -262,6 +272,25 @@ func (reg *Registry) handleGetProbe(w http.ResponseWriter, req *http.Request) {
 	writeJSON(w, http.StatusOK, sec)
 }
 
+// normalizeRun rewrites a run request to its effective values before
+// anything derives from it, so requests that differ only in
+// spelled-out defaults ({"machine":"dempsey"} vs
+// {...,"nodes":2,"seed":1}) build the same machine and the same
+// coalescing key. It returns the resolved machine model.
+func normalizeRun(rr *regproto.RunRequest) (*servet.Machine, error) {
+	if rr.Nodes <= 0 {
+		rr.Nodes = 2
+	}
+	if rr.Seed == 0 {
+		rr.Seed = 1 // the engine's default (core.withDefaults)
+	}
+	m, ok := servet.Models(rr.Nodes)[rr.Machine]
+	if !ok {
+		return nil, fmt.Errorf("unknown machine model %q", rr.Machine)
+	}
+	return m, nil
+}
+
 // handleRun serves POST /v1/run: produce a report for a machine
 // model, measuring only probes the store has no fresh section for.
 // Identical concurrent requests coalesce onto one engine run (the
@@ -275,35 +304,45 @@ func (reg *Registry) handleRun(w http.ResponseWriter, req *http.Request) {
 		})
 		return
 	}
-	// Normalize the request to its effective values before anything
-	// derives from it, so requests that differ only in spelled-out
-	// defaults ({"machine":"dempsey"} vs {...,"nodes":2,"seed":1})
-	// build the same machine and the same coalescing key.
-	if rr.Nodes <= 0 {
-		rr.Nodes = 2
-	}
-	if rr.Seed == 0 {
-		rr.Seed = 1 // the engine's default (core.withDefaults)
-	}
-	m, ok := servet.Models(rr.Nodes)[rr.Machine]
-	if !ok {
-		writeError(w, http.StatusBadRequest, regproto.Error{
-			Code: regproto.CodeBadRequest, Message: fmt.Sprintf("unknown machine model %q", rr.Machine),
-		})
+	m, err := normalizeRun(&rr)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, regproto.Error{Code: regproto.CodeBadRequest, Message: err.Error()})
 		return
 	}
-	fp := m.Fingerprint()
+	rep, shared, err := reg.resolveRun(m, rr)
+	if err != nil {
+		var unknown *servet.UnknownProbeError
+		if errors.As(err, &unknown) {
+			writeError(w, http.StatusBadRequest, regproto.Error{Code: regproto.CodeBadRequest, Message: err.Error()})
+			return
+		}
+		writeError(w, http.StatusInternalServerError, regproto.Error{Code: regproto.CodeInternal, Message: err.Error()})
+		return
+	}
+	if shared {
+		w.Header().Set("Servet-Run", "coalesced")
+	} else {
+		w.Header().Set("Servet-Run", "executed")
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
 
+// resolveRun produces the report a normalized run request asks for:
+// coalesced with identical in-flight requests, stored sections
+// reused, stale probes measured. Both POST /v1/run and POST /v1/tune
+// resolve their reports here, so a herd of tunes on a cold
+// fingerprint triggers exactly one engine run.
+func (reg *Registry) resolveRun(m *servet.Machine, rr regproto.RunRequest) (rep *report.Report, shared bool, err error) {
+	fp := m.Fingerprint()
 	// The coalescing key is the fingerprint plus the normalized
 	// request: two requests coalesce only when they would run the same
 	// probes under the same options (the canonical JSON of the
 	// fixed-order struct is a cheap digest of that).
 	keyBytes, err := json.Marshal(rr)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, regproto.Error{Code: regproto.CodeInternal, Message: err.Error()})
-		return
+		return nil, false, err
 	}
-	rep, shared, err := reg.flight.do(fp+"|"+string(keyBytes), func() (*report.Report, error) {
+	return reg.flight.do(fp+"|"+string(keyBytes), func() (*report.Report, error) {
 		// Serialize against other runs and PUTs on this fingerprint:
 		// the waiter's Lookup then sees the finished entry and its
 		// carryLeftovers keeps every section both runs produced,
@@ -339,8 +378,83 @@ func (reg *Registry) handleRun(w http.ResponseWriter, req *http.Request) {
 		}
 		return out, nil
 	})
+}
+
+// handleTune serves POST /v1/tune: resolve the request's report (as a
+// POST run would — stored sections reused, stale probes measured
+// first), then search the parameter space for the configuration
+// minimizing the objective. The search is deterministic, so its
+// result is as cacheable as the report itself; identical concurrent
+// requests coalesce onto one search (Servet-Tune: coalesced) and even
+// distinct tunes over the same cold report coalesce the underlying
+// engine run.
+func (reg *Registry) handleTune(w http.ResponseWriter, req *http.Request) {
+	reg.tuneRequests.Add(1)
+	var tr regproto.TuneRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, req.Body, maxReportBytes)).Decode(&tr); err != nil {
+		writeError(w, http.StatusBadRequest, regproto.Error{
+			Code: regproto.CodeBadRequest, Message: "malformed tune request: " + err.Error(),
+		})
+		return
+	}
+	m, err := normalizeRun(&tr.Run)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, regproto.Error{Code: regproto.CodeBadRequest, Message: err.Error()})
+		return
+	}
+	// Normalize the tune side too, so spelled-out defaults coalesce
+	// with omitted ones ("" and "auto" are the same strategy; the
+	// engine's own defaults fill seed and budget).
+	if tr.Strategy == "" {
+		tr.Strategy = tune.StrategyAuto
+	}
+	if tr.Seed == 0 {
+		tr.Seed = tune.DefaultSeed
+	}
+	if tr.Budget <= 0 {
+		tr.Budget = tune.DefaultBudget
+	}
+	// Validate everything cheap before touching the engines: bad
+	// spaces, strategies and objectives are the client's fault and
+	// must not produce (or wait on) a probe run.
+	if err := tr.Space.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, regproto.Error{Code: regproto.CodeBadRequest, Message: err.Error()})
+		return
+	}
+	if _, err := tune.NewStrategy(tr.Strategy); err != nil {
+		writeError(w, http.StatusBadRequest, regproto.Error{Code: regproto.CodeBadRequest, Message: err.Error()})
+		return
+	}
+	obj, err := tune.NewObjective(tr.Objective)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, regproto.Error{Code: regproto.CodeBadRequest, Message: err.Error()})
+		return
+	}
+
+	keyBytes, err := json.Marshal(tr)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, regproto.Error{Code: regproto.CodeInternal, Message: err.Error()})
+		return
+	}
+	res, shared, err := reg.tuneFlight.do("tune|"+m.Fingerprint()+"|"+string(keyBytes), func() (*tune.Result, error) {
+		rep, _, err := reg.resolveRun(m, tr.Run)
+		if err != nil {
+			return nil, err
+		}
+		out, err := tune.Tune(reg.baseCtx, rep, tr.Space, obj, tune.Options{
+			Strategy:    tr.Strategy,
+			Seed:        tr.Seed,
+			Budget:      tr.Budget,
+			Parallelism: reg.parallelism,
+		})
+		if err != nil {
+			return nil, err
+		}
+		reg.tuneEvaluations.Add(int64(out.Evaluations))
+		return out, nil
+	})
 	if shared {
-		reg.runsCoalesced.Add(1)
+		reg.tunesCoalesced.Add(1)
 	}
 	if err != nil {
 		var unknown *servet.UnknownProbeError
@@ -352,11 +466,11 @@ func (reg *Registry) handleRun(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	if shared {
-		w.Header().Set("Servet-Run", "coalesced")
+		w.Header().Set("Servet-Tune", "coalesced")
 	} else {
-		w.Header().Set("Servet-Run", "executed")
+		w.Header().Set("Servet-Tune", "executed")
 	}
-	writeJSON(w, http.StatusOK, rep)
+	writeJSON(w, http.StatusOK, res)
 }
 
 // handleStats serves GET /v1/stats.

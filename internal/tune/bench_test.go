@@ -1,0 +1,55 @@
+package tune
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+// Benchmarks for the search engine itself. The quadratic objective is
+// nearly free, so BenchmarkTuneRandomSearch* measure the engine's
+// per-evaluation overhead (proposal, dedup, scheduling, merge) on the
+// BENCH_*.json trajectory; the tiled-kernel variant prices a full
+// search whose evaluations replay a kernel on the simulated memory
+// system — the realistic end-to-end cost of one /v1/tune request.
+func benchTuneRandom(b *testing.B, parallelism int) {
+	b.Helper()
+	rep := testReport()
+	sp := quadraticSpace()
+	obj := quadratic()
+	opt := Options{Strategy: "random", Seed: 7, Budget: 32, Parallelism: parallelism}
+	for i := 0; i < b.N; i++ {
+		res, err := Tune(context.Background(), rep, sp, obj, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Evaluations == 0 {
+			b.Fatal("no evaluations")
+		}
+	}
+}
+
+func BenchmarkTuneRandomSearch(b *testing.B)     { benchTuneRandom(b, 1) }
+func BenchmarkTuneRandomSearchPar4(b *testing.B) { benchTuneRandom(b, 4) }
+
+func BenchmarkTuneTiledKernelGrid(b *testing.B) {
+	rep := testReport()
+	sp := Space{Axes: []Axis{Pow2("tile", 4, 32)}}
+	obj, err := NewObjective(ObjectiveSpec{
+		Name:   ObjectiveTiledKernel,
+		Params: json.RawMessage(`{"n": 64}`),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := Options{Strategy: "grid", Budget: 16}
+	for i := 0; i < b.N; i++ {
+		res, err := Tune(context.Background(), rep, sp, obj, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Evaluations != 4 {
+			b.Fatalf("evaluations = %d, want 4", res.Evaluations)
+		}
+	}
+}

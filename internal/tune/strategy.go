@@ -1,0 +1,399 @@
+package tune
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"servet/internal/stats"
+)
+
+// Domain keys separating the strategies' hash-derived draws: every
+// random decision is a pure function of (seed, domain, counters), so
+// no strategy's draws depend on another's (or on how many points some
+// worker evaluated first).
+const (
+	domainRandom = int64(0x7a3d)
+	domainStart  = int64(0x51a7)
+	domainAccept = int64(0xacc7)
+)
+
+// randomBatch bounds how many candidates the stochastic strategies
+// propose per round; the engine evaluates a round as one sharded
+// batch, so this is also their fan-out width.
+const randomBatch = 32
+
+// Eval is one evaluated point of a search.
+type Eval struct {
+	// Round is the proposal round the point was evaluated in.
+	Round int
+	// Point is the ordinal form, Config its materialization.
+	Point  Point
+	Config Config
+	// Score is the objective's value (lower is better).
+	Score float64
+}
+
+// History is the feedback a Strategy plans from: the space under
+// search, the seed, the evaluation budget, and every evaluation so
+// far in deterministic (round, proposal) order.
+type History struct {
+	// Space is the space under search.
+	Space *Space
+	// Seed drives every stochastic decision.
+	Seed int64
+	// Budget is the maximum number of evaluations.
+	Budget int
+	// Round counts completed evaluation rounds.
+	Round int
+	// Evals lists the evaluations so far in (round, proposal) order.
+	Evals []Eval
+
+	// seen maps point keys to their index in Evals; the engine
+	// maintains it for duplicate filtering.
+	seen map[string]int
+}
+
+// Remaining returns the evaluations left in the budget.
+func (h *History) Remaining() int {
+	if left := h.Budget - len(h.Evals); left > 0 {
+		return left
+	}
+	return 0
+}
+
+// Seen reports whether the point was already evaluated.
+func (h *History) Seen(p Point) bool {
+	_, ok := h.seen[p.key()]
+	return ok
+}
+
+// Best returns the evaluation with the lowest score (earliest wins
+// ties, so the answer does not depend on traversal order).
+func (h *History) Best() (Eval, bool) {
+	if len(h.Evals) == 0 {
+		return Eval{}, false
+	}
+	best := h.Evals[0]
+	for _, e := range h.Evals[1:] {
+		if e.Score < best.Score {
+			best = e
+		}
+	}
+	return best, true
+}
+
+// RoundEvals returns the evaluations of one round.
+func (h *History) RoundEvals(round int) []Eval {
+	var out []Eval
+	for _, e := range h.Evals {
+		if e.Round == round {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// randomPoint draws a uniform point keyed by (seed, domain, draw).
+func (h *History) randomPoint(domain, draw int64) Point {
+	p := make(Point, len(h.Space.Axes))
+	for i, a := range h.Space.Axes {
+		p[i] = int(stats.MixBound(int64(a.size()), h.Seed, domain, draw, int64(i)))
+	}
+	return p
+}
+
+// uniform01 maps a hash draw onto [0, 1).
+func uniform01(keys ...int64) float64 {
+	return float64(stats.MixKeys(keys...)>>11) / (1 << 53)
+}
+
+// Strategy proposes candidate points round by round. Next returns the
+// next batch given the history so far; an empty batch ends the
+// search. Proposals the engine has already evaluated are skipped
+// (their scores are in the history), so strategies may re-propose
+// freely. A Strategy instance belongs to a single Tune call and may
+// keep state across rounds.
+type Strategy interface {
+	// Name is the strategy's registry name.
+	Name() string
+	// Next proposes the next candidate batch; empty ends the search.
+	Next(h *History) []Point
+}
+
+// Strategy registry names.
+const (
+	// StrategyAuto picks grid for spaces within budget, otherwise
+	// random search refined by annealing.
+	StrategyAuto = "auto"
+	// StrategyGrid enumerates the space exhaustively in lexicographic
+	// order (truncated at the budget).
+	StrategyGrid = "grid"
+	// StrategyRandom draws seeded uniform points.
+	StrategyRandom = "random"
+	// StrategyAnneal hill-climbs from the best point so far with an
+	// annealed acceptance of uphill moves and random restarts.
+	StrategyAnneal = "anneal"
+)
+
+// NewStrategy returns a fresh instance of the named strategy ("" means
+// auto).
+func NewStrategy(name string) (Strategy, error) {
+	switch name {
+	case "", StrategyAuto:
+		return &autoStrategy{}, nil
+	case StrategyGrid:
+		return &gridStrategy{}, nil
+	case StrategyRandom:
+		return &randomStrategy{}, nil
+	case StrategyAnneal:
+		return &annealStrategy{}, nil
+	}
+	return nil, fmt.Errorf("tune: unknown strategy %q (have %v)", name, StrategyNames())
+}
+
+// StrategyNames lists the registered strategies.
+func StrategyNames() []string {
+	names := []string{StrategyAuto, StrategyGrid, StrategyRandom, StrategyAnneal}
+	sort.Strings(names)
+	return names
+}
+
+// gridStrategy enumerates the whole space in lexicographic order, in
+// budget-sized rounds so the engine can stop mid-enumeration.
+type gridStrategy struct {
+	cursor Point
+	done   bool
+}
+
+func (g *gridStrategy) Name() string { return StrategyGrid }
+
+func (g *gridStrategy) Next(h *History) []Point {
+	if g.done {
+		return nil
+	}
+	if g.cursor == nil {
+		g.cursor = make(Point, len(h.Space.Axes))
+	}
+	limit := h.Remaining()
+	var out []Point
+	for len(out) < limit {
+		out = append(out, g.cursor.clone())
+		// Lexicographic increment, last axis fastest.
+		i := len(g.cursor) - 1
+		for i >= 0 {
+			g.cursor[i]++
+			if g.cursor[i] < h.Space.Axes[i].size() {
+				break
+			}
+			g.cursor[i] = 0
+			i--
+		}
+		if i < 0 {
+			g.done = true
+			break
+		}
+	}
+	return out
+}
+
+// randomStrategy draws seeded uniform points, skipping ones already
+// evaluated; it gives up (ends the search) when a whole round of
+// draws lands on seen points — the sign that the space is close to
+// exhausted relative to the budget.
+type randomStrategy struct {
+	drawn int64
+}
+
+func (r *randomStrategy) Name() string { return StrategyRandom }
+
+func (r *randomStrategy) Next(h *History) []Point {
+	want := h.Remaining()
+	if want > randomBatch {
+		want = randomBatch
+	}
+	if want == 0 {
+		return nil
+	}
+	var out []Point
+	fresh := map[string]bool{}
+	// Bounded attempts keep termination guaranteed on tiny spaces.
+	for attempts := 0; len(out) < want && attempts < 8*randomBatch; attempts++ {
+		p := h.randomPoint(domainRandom, r.drawn)
+		r.drawn++
+		if h.Seen(p) || fresh[p.key()] {
+			continue
+		}
+		fresh[p.key()] = true
+		out = append(out, p)
+	}
+	return out
+}
+
+// annealStrategy is a batch-synchronous hill climber with annealed
+// uphill acceptance: each round it proposes the unseen neighbors of
+// its current point (one step along each axis), then moves to the
+// best of them — always when downhill, with probability
+// exp(-relative_delta / T) when uphill, T decaying geometrically per
+// round. When a point has no unseen neighbors left it restarts from a
+// seeded random point.
+type annealStrategy struct {
+	cur       Point
+	curScore  float64
+	started   bool
+	lastRound int
+	moves     int64
+	restarts  int64
+}
+
+// Annealing schedule: initial temperature (relative to the current
+// score) and per-move decay.
+const (
+	annealT0    = 0.20
+	annealDecay = 0.85
+)
+
+func (a *annealStrategy) Name() string { return StrategyAnneal }
+
+func (a *annealStrategy) Next(h *History) []Point {
+	if !a.started {
+		// Seed the climb: the best point so far (when another strategy
+		// already explored, as in auto's refinement phase), else a
+		// seeded random start.
+		if best, ok := h.Best(); ok {
+			a.cur, a.curScore = best.Point.clone(), best.Score
+			a.started = true
+		} else {
+			a.lastRound = h.Round
+			a.restarts++
+			return []Point{h.randomPoint(domainStart, a.restarts-1)}
+		}
+	} else if a.cur == nil {
+		// A restart round was just evaluated: adopt its point.
+		evs := h.RoundEvals(a.lastRound)
+		if len(evs) == 0 {
+			// The restart point was a duplicate; draw another.
+			a.lastRound = h.Round
+			a.restarts++
+			return []Point{h.randomPoint(domainStart, a.restarts-1)}
+		}
+		a.cur, a.curScore = evs[0].Point.clone(), evs[0].Score
+	} else {
+		a.decide(h)
+	}
+	if h.Remaining() == 0 {
+		return nil
+	}
+
+	nbs := a.neighbors(h)
+	if len(nbs) > 0 {
+		a.lastRound = h.Round
+		return nbs
+	}
+	// Local neighborhood exhausted: restart from a fresh random point
+	// (bounded attempts; give up when the space looks exhausted).
+	for attempts := int64(0); attempts < 8*randomBatch; attempts++ {
+		p := h.randomPoint(domainStart, a.restarts)
+		a.restarts++
+		if !h.Seen(p) {
+			a.cur = nil
+			a.lastRound = h.Round
+			return []Point{p}
+		}
+	}
+	return nil
+}
+
+// decide processes the last proposed neighborhood: move to its best
+// point when accepted by the annealing rule.
+func (a *annealStrategy) decide(h *History) {
+	evs := h.RoundEvals(a.lastRound)
+	if len(evs) == 0 {
+		return
+	}
+	best := evs[0]
+	for _, e := range evs[1:] {
+		if e.Score < best.Score {
+			best = e
+		}
+	}
+	accept := best.Score < a.curScore
+	if !accept {
+		// Uphill move: annealed acceptance on the relative loss.
+		scale := math.Abs(a.curScore)
+		if scale < 1e-12 {
+			scale = 1e-12
+		}
+		delta := (best.Score - a.curScore) / scale
+		temp := annealT0 * math.Pow(annealDecay, float64(a.moves))
+		if temp > 0 {
+			accept = uniform01(h.Seed, domainAccept, a.moves) < math.Exp(-delta/temp)
+		}
+	}
+	a.moves++
+	if accept {
+		a.cur, a.curScore = best.Point.clone(), best.Score
+	}
+}
+
+// neighbors returns the unseen one-step neighbors of the current
+// point, in (axis, direction) order.
+func (a *annealStrategy) neighbors(h *History) []Point {
+	var out []Point
+	for i, ax := range h.Space.Axes {
+		for _, d := range [2]int{-1, 1} {
+			o := a.cur[i] + d
+			if o < 0 || o >= ax.size() {
+				continue
+			}
+			p := a.cur.clone()
+			p[i] = o
+			if h.Seen(p) {
+				continue
+			}
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// autoStrategy sizes the search to the space: exhaustive grid when
+// the budget covers it, otherwise seeded random exploration for half
+// the budget refined by annealing for the rest.
+type autoStrategy struct {
+	inner Strategy
+}
+
+func (s *autoStrategy) Name() string { return StrategyAuto }
+
+func (s *autoStrategy) Next(h *History) []Point {
+	if s.inner == nil {
+		if h.Space.Size() <= h.Remaining() {
+			s.inner = &gridStrategy{}
+		} else {
+			s.inner = &phasedStrategy{}
+		}
+	}
+	return s.inner.Next(h)
+}
+
+// phasedStrategy is auto's explore-then-refine composite: random
+// search for the first half of the budget, annealing for the rest
+// (seeded by the exploration's best point).
+type phasedStrategy struct {
+	rnd      randomStrategy
+	ann      annealStrategy
+	refining bool
+}
+
+func (p *phasedStrategy) Name() string { return StrategyAuto }
+
+func (p *phasedStrategy) Next(h *History) []Point {
+	if !p.refining && len(h.Evals) < h.Budget/2 {
+		if pts := p.rnd.Next(h); len(pts) > 0 {
+			return pts
+		}
+	}
+	p.refining = true
+	return p.ann.Next(h)
+}

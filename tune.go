@@ -1,0 +1,125 @@
+package servet
+
+import (
+	"context"
+
+	"servet/internal/report"
+	"servet/internal/tune"
+)
+
+// Search-driven autotuning (the generalization of the Section V
+// helpers above): declare a parameter space, pick an objective, and
+// let a seeded search spend an evaluation budget finding the best
+// configuration against a report. Results are deterministic — byte
+// identical at any parallelism — and schema-versioned, so they can be
+// golden-tested and cached across a cluster (see the registry's
+// POST /v1/tune endpoint).
+type (
+	// TuneSpace is a declarative parameter space: the cross product of
+	// its axes.
+	TuneSpace = tune.Space
+	// TuneAxis is one dimension of a TuneSpace.
+	TuneAxis = tune.Axis
+	// TuneConfig is one point of a space, as axis values.
+	TuneConfig = tune.Config
+	// TuneValue is one axis coordinate of a TuneConfig.
+	TuneValue = tune.Value
+	// TuneResult is the schema-versioned output of Tune.
+	TuneResult = tune.Result
+	// Objective scores a configuration against a report (lower is
+	// better).
+	Objective = tune.Objective
+	// ObjectiveSpec names a registered objective plus its JSON
+	// parameters — the wire form POST /v1/tune carries.
+	ObjectiveSpec = tune.ObjectiveSpec
+)
+
+// Axis constructors and objective registry access.
+var (
+	// IntRangeAxis sweeps an inclusive integer range with a step.
+	IntRangeAxis = tune.IntRange
+	// Pow2Axis sweeps the powers of two in [min, max].
+	Pow2Axis = tune.Pow2
+	// ChoiceAxis enumerates named alternatives.
+	ChoiceAxis = tune.Choice
+	// ObjectiveFunc adapts a plain function into an Objective.
+	ObjectiveFunc = tune.Func
+	// NewObjective resolves an ObjectiveSpec against the registry of
+	// built-in objectives.
+	NewObjective = tune.NewObjective
+	// ObjectiveNames lists the registered objectives.
+	ObjectiveNames = tune.ObjectiveNames
+	// TuneStrategyNames lists the search strategies.
+	TuneStrategyNames = tune.StrategyNames
+)
+
+// Built-in objective names (see internal/tune for their parameter
+// documents).
+const (
+	// ObjectiveBcastModel scores broadcast algorithms with the
+	// report's latency/bandwidth cost model.
+	ObjectiveBcastModel = tune.ObjectiveBcastModel
+	// ObjectiveBcastSim scores them by running the collective on the
+	// simulated cluster.
+	ObjectiveBcastSim = tune.ObjectiveBcastSim
+	// ObjectiveAggregationModel scores message-aggregation batch
+	// sizes.
+	ObjectiveAggregationModel = tune.ObjectiveAggregationModel
+	// ObjectiveTiledKernel scores tile edges by simulating a tiled
+	// transpose on the machine's memory system.
+	ObjectiveTiledKernel = tune.ObjectiveTiledKernel
+	// ObjectiveConcurrencyModel scores concurrency caps from the
+	// report's memory-scalability curve.
+	ObjectiveConcurrencyModel = tune.ObjectiveConcurrencyModel
+)
+
+// TuneOption adjusts a Tune search.
+type TuneOption func(*tune.Options)
+
+// TuneStrategy selects the search strategy: "auto" (default), "grid",
+// "random" or "anneal".
+func TuneStrategy(name string) TuneOption {
+	return func(o *tune.Options) { o.Strategy = name }
+}
+
+// TuneSeed fixes the seed driving every stochastic search decision.
+// The result is a pure function of (report, space, objective,
+// strategy, seed, budget).
+func TuneSeed(seed int64) TuneOption {
+	return func(o *tune.Options) { o.Seed = seed }
+}
+
+// TuneBudget caps the number of objective evaluations (distinct
+// configurations).
+func TuneBudget(n int) TuneOption {
+	return func(o *tune.Options) { o.Budget = n }
+}
+
+// TuneParallelism bounds how many evaluations run concurrently.
+// Results are byte-identical at any value; only wall time changes.
+func TuneParallelism(n int) TuneOption {
+	return func(o *tune.Options) { o.Parallelism = n }
+}
+
+// Tune searches the space for the configuration minimizing the
+// objective against the report:
+//
+//	space := servet.TuneSpace{Axes: []servet.TuneAxis{
+//		servet.Pow2Axis("tile", 4, 256),
+//	}}
+//	obj, _ := servet.NewObjective(servet.ObjectiveSpec{Name: servet.ObjectiveTiledKernel})
+//	res, err := servet.Tune(ctx, rep, space, obj,
+//		servet.TuneBudget(32), servet.TuneParallelism(4))
+//	tile, _ := res.BestValue("tile")
+//
+// Everything in the result except its provenance timestamps is
+// deterministic: candidate batches are evaluated concurrently but
+// merged in proposal order, and all randomness is seeded. Cancelling
+// the context aborts the search between evaluations.
+func Tune(ctx context.Context, r *report.Report, space TuneSpace, obj Objective, opts ...TuneOption) (*TuneResult, error) {
+	var o tune.Options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return tune.Tune(ctx, r, space, obj, o)
+}

@@ -1,0 +1,147 @@
+package servet_test
+
+import (
+	"context"
+	"encoding/json"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"servet"
+)
+
+// tuneGoldenReport characterizes a Dempsey node once per noise
+// setting, through the public session API.
+func tuneGoldenReport(t *testing.T, noise float64) *servet.Report {
+	t.Helper()
+	opts := []servet.Option{
+		servet.WithOptions(servet.Options{Seed: 1, CommReps: 2, BWSizes: []int64{4096, 65536}}),
+	}
+	if noise > 0 {
+		opts = append(opts, servet.WithNoise(noise))
+	}
+	s, err := servet.NewSession(servet.Dempsey(), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// marshalZeroed strips the wall-clock provenance — the only part of a
+// TuneResult documented as nondeterministic — and marshals the rest.
+func marshalZeroed(t *testing.T, res *servet.TuneResult) string {
+	t.Helper()
+	res.Provenance = servet.TuneResult{}.Provenance
+	b, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestTuneGoldenParallelism pins the determinism contract: the full
+// TuneResult — best point, score, trace, round structure — is
+// byte-identical at parallelism 1, 2, 4 and NumCPU, on reports
+// measured with and without simulated noise.
+func TestTuneGoldenParallelism(t *testing.T) {
+	space := servet.TuneSpace{Axes: []servet.TuneAxis{
+		servet.Pow2Axis("tile", 4, 128),
+		servet.ChoiceAxis("order", "row", "col"),
+	}}
+	obj := servet.ObjectiveFunc("golden", func(ctx context.Context, r *servet.Report, sp *servet.TuneSpace, cfg servet.TuneConfig) (float64, error) {
+		tile, err := sp.Int(cfg, "tile")
+		if err != nil {
+			return 0, err
+		}
+		order, err := sp.Str(cfg, "order")
+		if err != nil {
+			return 0, err
+		}
+		// A bowl around tile=32 shifted by the report's own data, so
+		// the score depends on the measured report too.
+		s := float64((tile - 32) * (tile - 32))
+		if order == "col" {
+			s += float64(r.CacheLevel(1).SizeBytes) / 1024
+		}
+		return s, nil
+	})
+	for _, noise := range []float64{0, 0.05} {
+		rep := tuneGoldenReport(t, noise)
+		var want string
+		for _, par := range []int{1, 2, 4, runtime.NumCPU()} {
+			res, err := servet.Tune(context.Background(), rep, space, obj,
+				servet.TuneStrategy("anneal"), servet.TuneSeed(9), servet.TuneBudget(24),
+				servet.TuneParallelism(par))
+			if err != nil {
+				t.Fatalf("noise %g parallelism %d: %v", noise, par, err)
+			}
+			got := marshalZeroed(t, res)
+			if want == "" {
+				want = got
+				continue
+			}
+			if got != want {
+				t.Fatalf("noise %g parallelism %d: result diverged\n got: %s\nwant: %s", noise, par, got, want)
+			}
+		}
+	}
+}
+
+// TestTuneGoldenBuiltinObjective pins the end-to-end path a registry
+// tune request takes: a built-in objective resolved from its wire
+// spec, evaluated against a session report, byte-identical at any
+// parallelism.
+func TestTuneGoldenBuiltinObjective(t *testing.T) {
+	rep := tuneGoldenReport(t, 0)
+	obj, err := servet.NewObjective(servet.ObjectiveSpec{
+		Name:   servet.ObjectiveAggregationModel,
+		Params: json.RawMessage(`{"bytes": 256, "messages": 64}`),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	space := servet.TuneSpace{Axes: []servet.TuneAxis{servet.Pow2Axis("batch", 1, 64)}}
+	var want string
+	for _, par := range []int{1, 4} {
+		res, err := servet.Tune(context.Background(), rep, space, obj, servet.TuneParallelism(par))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Evaluations != 7 {
+			t.Fatalf("evaluated %d batch sizes, want 7", res.Evaluations)
+		}
+		got := marshalZeroed(t, res)
+		if want == "" {
+			want = got
+		} else if got != want {
+			t.Fatalf("parallelism %d diverged from 1:\n got: %s\nwant: %s", par, got, want)
+		}
+	}
+}
+
+// TestTuneCancellation aborts a search mid-flight and checks the
+// context error surfaces.
+func TestTuneCancellation(t *testing.T) {
+	rep := tuneGoldenReport(t, 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	var calls atomic.Int64
+	obj := servet.ObjectiveFunc("cancel", func(ctx context.Context, r *servet.Report, sp *servet.TuneSpace, cfg servet.TuneConfig) (float64, error) {
+		if calls.Add(1) == 3 {
+			cancel()
+		}
+		return 0, nil
+	})
+	space := servet.TuneSpace{Axes: []servet.TuneAxis{servet.IntRangeAxis("x", 1, 500, 1)}}
+	_, err := servet.Tune(ctx, rep, space, obj, servet.TuneBudget(400), servet.TuneParallelism(2))
+	if err == nil {
+		t.Fatal("cancelled tune returned no error")
+	}
+	if !strings.Contains(err.Error(), context.Canceled.Error()) {
+		t.Fatalf("error %v does not surface the cancellation", err)
+	}
+}
