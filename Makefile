@@ -13,7 +13,7 @@ BENCH_REGEX    ?= .
 BENCH_PKGS     ?= ./internal/memsys ./internal/core ./internal/tune
 BENCH_BASELINE ?=
 
-.PHONY: build test vet bench clean
+.PHONY: build test vet lint bench clean
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,13 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+# The determinism-contract analyzer suite (see internal/analysis):
+# zero findings required.
+lint:
+	@mkdir -p bin
+	$(GO) build -o bin/servet-vet ./cmd/servet-vet
+	./bin/servet-vet ./...
 
 # Benchmarks only (-run '^$' skips tests); -benchmem so the trajectory
 # tracks allocations, -count so benchjson can keep the best run.

@@ -79,7 +79,7 @@ func parseAxis(spec string) (servet.TuneAxis, error) {
 		for i, p := range parts {
 			n, err := strconv.ParseInt(p, 10, 64)
 			if err != nil {
-				return servet.TuneAxis{}, fmt.Errorf("axis %q: %v", spec, err)
+				return servet.TuneAxis{}, fmt.Errorf("axis %q: %w", spec, err)
 			}
 			nums[i] = n
 		}

@@ -1,0 +1,238 @@
+// Command servet-vet is the determinism-contract multichecker: it
+// runs the internal/analysis suite (detrand, maporder, floatmerge,
+// ctxflow, errfmt) over Go packages and exits nonzero on findings.
+//
+// Standalone use (package patterns, like go vet):
+//
+//	go run ./cmd/servet-vet ./...
+//	servet-vet -detrand=false ./internal/server
+//
+// It also speaks the cmd/go vettool protocol, so it can ride the
+// build cache and per-package scheduling of go vet:
+//
+//	go build -o bin/servet-vet ./cmd/servet-vet
+//	go vet -vettool=$(pwd)/bin/servet-vet ./...
+//
+// In vettool mode cmd/go invokes the binary once per package with a
+// JSON config file argument (compiled import paths, export-data
+// files); findings print to stderr and the exit status is 2, which go
+// vet reports per package.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"servet/internal/analysis"
+	"servet/internal/analysis/ctxflow"
+	"servet/internal/analysis/detrand"
+	"servet/internal/analysis/errfmt"
+	"servet/internal/analysis/floatmerge"
+	"servet/internal/analysis/maporder"
+)
+
+// suite is the determinism-contract analyzer set, in report order.
+var suite = []*analysis.Analyzer{
+	detrand.Analyzer,
+	maporder.Analyzer,
+	floatmerge.Analyzer,
+	ctxflow.Analyzer,
+	errfmt.Analyzer,
+}
+
+// version is the identity reported to the cmd/go vettool handshake;
+// bump it to invalidate go vet's action cache for all packages.
+const version = "servet-vet-1"
+
+func main() {
+	progname := strings.TrimSuffix(filepath.Base(os.Args[0]), ".exe")
+
+	// cmd/go handshake: `servet-vet -V=full` prints the tool identity
+	// used as the vet action cache key.
+	if len(os.Args) == 2 && strings.HasPrefix(os.Args[1], "-V") {
+		fmt.Printf("%s version %s\n", progname, version)
+		return
+	}
+
+	enabled := make(map[string]*bool, len(suite))
+	fs := flag.NewFlagSet(progname, flag.ExitOnError)
+	for _, a := range suite {
+		enabled[a.Name] = fs.Bool(a.Name, true, "run the "+a.Name+" analyzer: "+firstLine(a.Doc))
+	}
+	jsonFlag := fs.Bool("json", false, "emit findings as JSON")
+
+	// cmd/go flag discovery: `servet-vet -flags` prints the flags the
+	// driver may forward, as a JSON array.
+	if len(os.Args) == 2 && os.Args[1] == "-flags" {
+		type jsonFlagDef struct {
+			Name  string `json:"Name"`
+			Bool  bool   `json:"Bool"`
+			Usage string `json:"Usage"`
+		}
+		var defs []jsonFlagDef
+		fs.VisitAll(func(f *flag.Flag) {
+			defs = append(defs, jsonFlagDef{Name: f.Name, Bool: isBoolFlag(f), Usage: f.Usage})
+		})
+		json.NewEncoder(os.Stdout).Encode(defs)
+		return
+	}
+
+	fs.Parse(os.Args[1:])
+	var active []*analysis.Analyzer
+	for _, a := range suite {
+		if *enabled[a.Name] {
+			active = append(active, a)
+		}
+	}
+	args := fs.Args()
+	if len(args) == 0 {
+		fmt.Fprintf(os.Stderr, "usage: %s [flags] packages...\n", progname)
+		os.Exit(2)
+	}
+
+	// vettool mode: a single argument naming a *.cfg JSON file.
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(unitCheck(args[0], active, *jsonFlag))
+	}
+
+	pkgs, err := analysis.Load(".", args)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	findings, err := analysis.Run(pkgs, active)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	emit(findings, *jsonFlag, os.Stdout)
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}
+
+// emit prints findings, one per line (or as a JSON array with -json).
+func emit(findings []analysis.Finding, asJSON bool, w io.Writer) {
+	if asJSON {
+		type jsonFinding struct {
+			Position string `json:"position"`
+			Message  string `json:"message"`
+			Analyzer string `json:"analyzer"`
+		}
+		out := make([]jsonFinding, len(findings))
+		for i, f := range findings {
+			out[i] = jsonFinding{Position: f.Position.String(), Message: f.Message, Analyzer: f.Analyzer}
+		}
+		json.NewEncoder(w).Encode(out)
+		return
+	}
+	for _, f := range findings {
+		fmt.Fprintln(w, f)
+	}
+}
+
+// vetConfig is the JSON cmd/go writes for vettool invocations (the
+// unitchecker protocol).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// unitCheck analyzes the single package a vet config describes.
+func unitCheck(cfgPath string, active []*analysis.Analyzer, asJSON bool) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "servet-vet: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// The driver expects a facts file regardless; the suite exchanges
+	// none, so an empty one satisfies the protocol.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+	// VetxOnly marks a dependency visited purely for its facts (this is
+	// how go vet reaches the standard library): with no facts to
+	// compute, there is nothing to do — and certainly no diagnostics to
+	// report outside the packages the user named.
+	if cfg.VetxOnly {
+		return 0
+	}
+	// The contract binds what reports are computed from, not the tests
+	// around it: like the standalone loader, analyze only non-test
+	// sources, and skip units (external test packages) that have none.
+	var goFiles []string
+	for _, f := range cfg.GoFiles {
+		if !strings.HasSuffix(f, "_test.go") {
+			goFiles = append(goFiles, f)
+		}
+	}
+	if len(goFiles) == 0 {
+		return 0
+	}
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		f, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("servet-vet: no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+	pkg, err := analysis.CheckFiles(fset, cfg.ImportPath, cfg.Dir, goFiles, imp)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	findings, err := analysis.Run([]*analysis.Package{pkg}, active)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	emit(findings, asJSON, os.Stderr)
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+func isBoolFlag(f *flag.Flag) bool {
+	b, ok := f.Value.(interface{ IsBoolFlag() bool })
+	return ok && b.IsBoolFlag()
+}

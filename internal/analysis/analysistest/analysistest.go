@@ -1,0 +1,221 @@
+// Package analysistest exercises analyzers against fixture packages,
+// mirroring golang.org/x/tools/go/analysis/analysistest: fixtures
+// live under testdata/src/<importpath>/, and every expected finding
+// is declared in-line with a trailing
+//
+//	// want `regexp` [`regexp` ...]
+//
+// comment on the offending line. Run loads the fixture package (local
+// fixture imports resolve under testdata/src, so a fixture can
+// impersonate engine packages like servet/internal/memsys; standard
+// library imports resolve from compiled export data), applies the
+// analyzer, and fails the test on any unmatched finding or unmet
+// expectation.
+package analysistest
+
+import (
+	"fmt"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"servet/internal/analysis"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory.
+func TestData(t *testing.T) string {
+	t.Helper()
+	td, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return td
+}
+
+// Run applies the analyzer to each fixture package (an import path
+// under testdata/src) and checks its findings against the fixtures'
+// want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	root := filepath.Join(testdata, "src")
+	for _, path := range paths {
+		pkg, err := loadFixture(root, path)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", path, err)
+		}
+		findings, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, path, err)
+		}
+		checkWants(t, pkg, findings)
+	}
+}
+
+// want is one expected-finding annotation.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// checkWants compares findings against the package's want comments.
+func checkWants(t *testing.T, pkg *analysis.Package, findings []analysis.Finding) {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		name := pkg.Fset.Position(f.Pos()).Filename
+		ws, err := parseWants(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wants = append(wants, ws...)
+	}
+	for _, f := range findings {
+		ok := false
+		for _, w := range wants {
+			if w.matched || w.file != f.Position.Filename || w.line != f.Position.Line {
+				continue
+			}
+			if w.re.MatchString(f.Message) {
+				w.matched, ok = true, true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected finding matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// wantRx matches the trailing want clause of a fixture line.
+var wantRx = regexp.MustCompile(`// want (.*)$`)
+
+// parseWants extracts want annotations from one fixture file.
+func parseWants(filename string) ([]*want, error) {
+	data, err := os.ReadFile(filename)
+	if err != nil {
+		return nil, err
+	}
+	var out []*want
+	for i, line := range strings.Split(string(data), "\n") {
+		m := wantRx.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		rest := strings.TrimSpace(m[1])
+		for rest != "" {
+			q, err := strconv.QuotedPrefix(rest)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: malformed want clause %q: %w", filename, i+1, rest, err)
+			}
+			pat, err := strconv.Unquote(q)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: %w", filename, i+1, err)
+			}
+			re, err := regexp.Compile(pat)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: %w", filename, i+1, err)
+			}
+			out = append(out, &want{file: filename, line: i + 1, re: re})
+			rest = strings.TrimSpace(rest[len(q):])
+		}
+	}
+	return out, nil
+}
+
+// fixtureImporter resolves fixture-local imports under root
+// (testdata/src/<path>) and everything else from compiled stdlib
+// export data.
+type fixtureImporter struct {
+	fset  *token.FileSet
+	root  string
+	std   types.Importer
+	tpkgs map[string]*types.Package
+}
+
+func (im *fixtureImporter) Import(path string) (*types.Package, error) {
+	if p, ok := im.tpkgs[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(im.root, filepath.FromSlash(path))
+	if st, err := os.Stat(dir); err == nil && st.IsDir() {
+		pkg, err := checkFixtureDir(im, path, dir)
+		if err != nil {
+			return nil, err
+		}
+		im.tpkgs[path] = pkg.Types
+		return pkg.Types, nil
+	}
+	return im.std.Import(path)
+}
+
+// checkFixtureDir parses and type-checks the fixture directory.
+func checkFixtureDir(im *fixtureImporter, path, dir string) (*analysis.Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, e.Name())
+		}
+	}
+	sort.Strings(files)
+	return analysis.CheckFiles(im.fset, path, dir, files, im)
+}
+
+// loadFixture loads and type-checks one fixture package.
+func loadFixture(root, path string) (*analysis.Package, error) {
+	fset := token.NewFileSet()
+	im := &fixtureImporter{
+		fset:  fset,
+		root:  root,
+		std:   stdImporter(fset),
+		tpkgs: make(map[string]*types.Package),
+	}
+	return checkFixtureDir(im, path, filepath.Join(root, filepath.FromSlash(path)))
+}
+
+// stdImporter builds an importer over the standard library's compiled
+// export data, listed (and compiled on first use) by the go tool. The
+// listing covers all of std so fixtures can import any stdlib package;
+// it runs once per test binary.
+var (
+	stdOnce  sync.Once
+	stdFiles map[string]string
+	stdErr   error
+)
+
+func stdImporter(fset *token.FileSet) types.Importer {
+	stdOnce.Do(func() {
+		stdFiles, stdErr = analysis.ExportFiles(".", []string{"std"})
+	})
+	lookup := func(path string) (io.ReadCloser, error) {
+		if stdErr != nil {
+			return nil, stdErr
+		}
+		f, ok := stdFiles[path]
+		if !ok {
+			return nil, fmt.Errorf("analysistest: no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}

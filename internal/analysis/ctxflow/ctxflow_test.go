@@ -1,0 +1,13 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"servet/internal/analysis/analysistest"
+	"servet/internal/analysis/ctxflow"
+)
+
+func TestCtxflow(t *testing.T) {
+	td := analysistest.TestData(t)
+	analysistest.Run(t, td, ctxflow.Analyzer, "ctxflow")
+}

@@ -1,0 +1,214 @@
+// Package detrand forbids wall-clock and stateful-randomness calls in
+// the engine packages, where they would break the contract that
+// reports and TuneResults are byte-identical at any parallelism:
+//
+//   - time.Now and time.Since never belong in a measurement path —
+//     simulated probes compute cost in virtual cycles, and a report
+//     field derived from the host clock differs run to run;
+//   - the global math/rand functions (rand.Int, rand.Float64, ...)
+//     consume shared stream state, so a value drawn by a worker
+//     depends on how many draws other workers made before it;
+//   - rand.New is allowed only when its source seed derives from the
+//     stats.Mix* stateless mixers, which make every draw a pure
+//     function of what is being measured (seed plus indices), never
+//     of execution order.
+//
+// Provenance stamping is the one legitimate wall-clock use — report
+// timestamps and wall durations that record when something ran
+// without feeding any measurement — and is annotated at the call
+// site with //servet:wallclock (own line or the line above).
+// Annotations that exempt nothing are themselves reported, so stale
+// markers cannot silently widen the escape hatch.
+package detrand
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"servet/internal/analysis"
+)
+
+// Analyzer is the detrand check.
+var Analyzer = &analysis.Analyzer{
+	Name: "detrand",
+	Doc:  "forbid wall-clock and non-Mix-seeded randomness in engine packages",
+	Run:  run,
+}
+
+// randPaths are the stateful-randomness packages the check covers.
+var randPaths = map[string]bool{"math/rand": true, "math/rand/v2": true}
+
+// statelessRandFuncs are math/rand package-level functions that do
+// not consume the global stream (constructors and helpers detrand
+// reasons about separately).
+var statelessRandFuncs = map[string]bool{"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.IsEnginePath(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		annotated := analysis.AnnotatedLines(pass.Fset, file)
+		used := make(map[int]bool)
+
+		// exempt reports whether the node sits on an annotated line (or
+		// directly below one), consuming the annotation.
+		exempt := func(pos token.Pos) bool {
+			line := pass.Fset.Position(pos).Line
+			for _, l := range []int{line, line - 1} {
+				if _, ok := annotated[l]; ok {
+					used[l] = true
+					return true
+				}
+			}
+			return false
+		}
+
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.CalleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			switch path := fn.Pkg().Path(); {
+			case path == "time" && (fn.Name() == "Now" || fn.Name() == "Since" || fn.Name() == "Until"):
+				if !exempt(call.Pos()) {
+					pass.Reportf(call.Pos(), "time.%s in engine package %s: reports must not depend on the wall clock (annotate provenance stamping with %s)",
+						fn.Name(), pass.Pkg.Path(), analysis.WallclockAnnotation)
+				}
+			case randPaths[path] && fn.Type().(*types.Signature).Recv() == nil:
+				switch {
+				case fn.Name() == "New":
+					if !mixSeeded(pass.TypesInfo, file, call) && !exempt(call.Pos()) {
+						pass.Reportf(call.Pos(), "rand.New seeded from a non-stats.Mix* source in engine package %s: derive the seed with stats.Mix64/MixKeys so draws are pure functions of what is measured",
+							pass.Pkg.Path())
+					}
+				case statelessRandFuncs[fn.Name()]:
+					// Constructors are judged at their rand.New use site.
+				default:
+					if !exempt(call.Pos()) {
+						pass.Reportf(call.Pos(), "global %s.%s in engine package %s: shared stream state makes draws depend on scheduling; use stats.Mix64/MixKeys-derived values instead",
+							path, fn.Name(), pass.Pkg.Path())
+					}
+				}
+			}
+			return true
+		})
+
+		for line, pos := range annotated {
+			if !used[line] {
+				pass.Reportf(pos, "unused %s annotation: no wall-clock or randomness call on this line or the next", analysis.WallclockAnnotation)
+			}
+		}
+	}
+	return nil
+}
+
+// mixSeeded reports whether the rand.New call's source seed derives
+// from a stats.Mix* mixer: the seed expression (resolving local
+// single assignments within the enclosing function, to bounded depth)
+// contains a call to a servet/internal/stats function whose name
+// starts with "Mix".
+func mixSeeded(info *types.Info, file *ast.File, call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	seed := call.Args[0]
+	// rand.New(rand.NewSource(x)): the interesting expression is x.
+	if src, ok := ast.Unparen(seed).(*ast.CallExpr); ok {
+		if fn := analysis.CalleeFunc(info, src); fn != nil && fn.Pkg() != nil &&
+			randPaths[fn.Pkg().Path()] && strings.HasPrefix(fn.Name(), "NewSource") && len(src.Args) > 0 {
+			seed = src.Args[0]
+		}
+	}
+	assigns := localAssignments(info, file, call.Pos())
+	return exprDerivesFromMix(info, seed, assigns, 0)
+}
+
+// localAssignments maps locally assigned variables of the function
+// enclosing pos to their RHS expressions (last single-value
+// assignment wins; multi-value assignments are skipped).
+func localAssignments(info *types.Info, file *ast.File, pos token.Pos) map[types.Object]ast.Expr {
+	out := make(map[types.Object]ast.Expr)
+	var enclosing ast.Node
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			if n.Pos() <= pos && pos < n.End() {
+				enclosing = n
+			}
+		}
+		return true
+	})
+	if enclosing == nil {
+		return out
+	}
+	ast.Inspect(enclosing, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if len(st.Lhs) != len(st.Rhs) {
+				return true
+			}
+			for i, lhs := range st.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if obj := info.Defs[id]; obj != nil {
+					out[obj] = st.Rhs[i]
+				} else if obj := info.Uses[id]; obj != nil {
+					out[obj] = st.Rhs[i]
+				}
+			}
+		case *ast.ValueSpec:
+			if len(st.Names) != len(st.Values) {
+				return true
+			}
+			for i, id := range st.Names {
+				if obj := info.Defs[id]; obj != nil {
+					out[obj] = st.Values[i]
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// exprDerivesFromMix walks the expression (following locally assigned
+// identifiers) looking for a stats.Mix* call.
+func exprDerivesFromMix(info *types.Info, expr ast.Expr, assigns map[types.Object]ast.Expr, depth int) bool {
+	if expr == nil || depth > 10 {
+		return false
+	}
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			if fn := analysis.CalleeFunc(info, e); fn != nil && fn.Pkg() != nil &&
+				fn.Pkg().Path() == "servet/internal/stats" && strings.HasPrefix(fn.Name(), "Mix") {
+				found = true
+				return false
+			}
+		case *ast.Ident:
+			obj := info.Uses[e]
+			if obj == nil {
+				return true
+			}
+			if rhs, ok := assigns[obj]; ok && exprDerivesFromMix(info, rhs, assigns, depth+1) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,19 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"servet/internal/analysis/analysistest"
+	"servet/internal/analysis/detrand"
+)
+
+// TestDetrand covers the engine fixture (flagged wall-clock and
+// randomness calls, Mix-seeded rand.New accepted) and a non-engine
+// package the analyzer must ignore. The fixture also exercises the
+// //servet:wallclock mechanics: a same-line annotation and a
+// line-above annotation both exempt their call, and an annotation
+// exempting nothing is reported as unused.
+func TestDetrand(t *testing.T) {
+	td := analysistest.TestData(t)
+	analysistest.Run(t, td, detrand.Analyzer, "servet/internal/memsys", "plain")
+}

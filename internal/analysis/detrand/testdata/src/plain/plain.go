@@ -1,0 +1,11 @@
+// Package plain is not an engine package: detrand must ignore it
+// entirely, wall clock and all.
+package plain
+
+import "time"
+
+// Uptime may use the wall clock freely.
+func Uptime(start time.Time) time.Duration {
+	_ = time.Now()
+	return time.Since(start)
+}

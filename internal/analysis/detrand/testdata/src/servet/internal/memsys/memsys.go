@@ -1,0 +1,36 @@
+// Package memsys impersonates the engine package
+// servet/internal/memsys, so detrand judges this fixture under the
+// engine determinism contract.
+package memsys
+
+import (
+	"math/rand"
+	"time"
+
+	"servet/internal/stats"
+)
+
+// Measure exercises every shape the analyzer judges.
+func Measure(seed int64) float64 {
+	start := time.Now()   // want `time\.Now in engine package servet/internal/memsys`
+	_ = time.Since(start) // want `time\.Since in engine package servet/internal/memsys`
+
+	stamp := time.Now() //servet:wallclock — provenance stamping is exempt
+	_ = stamp
+
+	//servet:wallclock
+	wall := time.Now()
+	_ = wall
+
+	_ = rand.Int() // want `global math/rand\.Int in engine package servet/internal/memsys`
+
+	bad := rand.New(rand.NewSource(seed)) // want `rand\.New seeded from a non-stats\.Mix\* source`
+	_ = bad.Float64()
+
+	h := stats.MixKeys(seed, 7)
+	good := rand.New(rand.NewSource(int64(h)))
+	return good.Float64()
+}
+
+//servet:wallclock // want `unused //servet:wallclock annotation`
+var schemaVersion = 1

@@ -1,0 +1,19 @@
+// Package stats is a fixture stub of servet/internal/stats: just the
+// stateless mixers detrand recognizes as legitimate seed sources.
+package stats
+
+// Mix64 is a stateless bit mixer.
+func Mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	return x ^ x>>33
+}
+
+// MixKeys folds the keys into one mixed value.
+func MixKeys(keys ...int64) uint64 {
+	var h uint64 = 0x9e3779b97f4a7c15
+	for _, k := range keys {
+		h = Mix64(h ^ uint64(k))
+	}
+	return h
+}

@@ -1,0 +1,157 @@
+// Package errfmt enforces wrapping discipline on the error paths:
+//
+//   - fmt.Errorf calls that format an error argument with a
+//     stringifying verb (%v, %s, %q) instead of %w flatten the chain,
+//     so typed errors downstream (*FingerprintMismatchError,
+//     *SchemaError, sentinel ErrNotFound) stop matching errors.Is and
+//     errors.As;
+//   - == / != comparisons against package-level error sentinels break
+//     as soon as anyone wraps the error; errors.Is is the comparison
+//     that survives wrapping.
+//
+// Both rules matter to the registry especially: its HTTP handlers map
+// typed store errors to status codes, and a lost %w turns a 404 into
+// a 500.
+package errfmt
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"servet/internal/analysis"
+)
+
+// Analyzer is the errfmt check.
+var Analyzer = &analysis.Analyzer{
+	Name: "errfmt",
+	Doc:  "flag fmt.Errorf stringifying errors without %w and == against error sentinels",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	errType := types.Universe.Lookup("error").Type()
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.CallExpr:
+				checkErrorf(pass, errType, e)
+			case *ast.BinaryExpr:
+				checkSentinelCompare(pass, errType, e)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkErrorf flags error-typed fmt.Errorf arguments whose verb is
+// not %w.
+func checkErrorf(pass *analysis.Pass, errType types.Type, call *ast.CallExpr) {
+	if !analysis.CalleeIsPkgFunc(pass.TypesInfo, call, "fmt", "Errorf") || len(call.Args) < 2 {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return
+	}
+	verbs, ok := formatVerbs(format)
+	if !ok || len(verbs) != len(call.Args)-1 {
+		// Indexed/starred formats or arity mismatches are go vet's
+		// printf checker's business, not ours.
+		return
+	}
+	for i, verb := range verbs {
+		arg := call.Args[i+1]
+		t := pass.TypesInfo.Types[arg].Type
+		if t == nil || !types.Implements(t, errType.Underlying().(*types.Interface)) {
+			continue
+		}
+		if verb != 'w' {
+			pass.Reportf(arg.Pos(), "fmt.Errorf formats an error with %%%c: use %%w so errors.Is/As keep seeing the wrapped chain", verb)
+		}
+	}
+}
+
+// formatVerbs extracts the verb letters of a printf format in
+// argument order; ok is false for formats with explicit argument
+// indexes or * width/precision, which this checker does not model.
+func formatVerbs(format string) (verbs []rune, ok bool) {
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		if i >= len(format) {
+			return nil, false
+		}
+		if format[i] == '%' {
+			continue
+		}
+		// flags, width, precision
+		for i < len(format) && strings.ContainsRune("+-# 0123456789.", rune(format[i])) {
+			i++
+		}
+		if i >= len(format) {
+			return nil, false
+		}
+		if format[i] == '*' || format[i] == '[' {
+			return nil, false
+		}
+		verbs = append(verbs, rune(format[i]))
+	}
+	return verbs, true
+}
+
+// checkSentinelCompare flags x == Sentinel / x != Sentinel where
+// Sentinel is a package-level error variable.
+func checkSentinelCompare(pass *analysis.Pass, errType types.Type, bin *ast.BinaryExpr) {
+	if bin.Op != token.EQL && bin.Op != token.NEQ {
+		return
+	}
+	for _, side := range []ast.Expr{bin.X, bin.Y} {
+		obj := sentinelErrorVar(pass.TypesInfo, side)
+		if obj == nil {
+			continue
+		}
+		other := bin.X
+		if side == bin.X {
+			other = bin.Y
+		}
+		// Comparing a sentinel against nil is fine.
+		if pass.TypesInfo.Types[other].IsNil() {
+			continue
+		}
+		pass.Reportf(bin.Pos(), "comparison with error sentinel %s using %s: use errors.Is so the check survives wrapping", obj.Name(), bin.Op)
+		return
+	}
+}
+
+// sentinelErrorVar resolves an expression to a package-level error
+// variable (the sentinel shape: var ErrX = errors.New(...)), or nil.
+func sentinelErrorVar(info *types.Info, e ast.Expr) types.Object {
+	var id *ast.Ident
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = v
+	case *ast.SelectorExpr:
+		id = v.Sel
+	default:
+		return nil
+	}
+	obj, ok := info.Uses[id].(*types.Var)
+	if !ok || obj.Parent() == nil || obj.Pkg() == nil || obj.Parent() != obj.Pkg().Scope() {
+		return nil
+	}
+	errType := types.Universe.Lookup("error").Type()
+	if !types.Identical(obj.Type(), errType) {
+		return nil
+	}
+	return obj
+}

@@ -1,0 +1,13 @@
+package errfmt_test
+
+import (
+	"testing"
+
+	"servet/internal/analysis/analysistest"
+	"servet/internal/analysis/errfmt"
+)
+
+func TestErrfmt(t *testing.T) {
+	td := analysistest.TestData(t)
+	analysistest.Run(t, td, errfmt.Analyzer, "errfmt")
+}

@@ -1,0 +1,41 @@
+// Package errfmt exercises the error-wrapping analyzer.
+package errfmt
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrGone is a package-level sentinel.
+var ErrGone = errors.New("gone")
+
+func wrapV(err error) error {
+	return fmt.Errorf("load: %v", err) // want `fmt\.Errorf formats an error with %v`
+}
+
+func wrapW(err error) error {
+	return fmt.Errorf("load: %w", err)
+}
+
+func multi(e1, e2 error) error {
+	return fmt.Errorf("%w: at step %d: %s", e1, 3, e2) // want `fmt\.Errorf formats an error with %s`
+}
+
+func compare(err error) bool {
+	return err == ErrGone // want `comparison with error sentinel ErrGone using ==`
+}
+
+func compareNeq(err error) bool {
+	if ErrGone != err { // want `comparison with error sentinel ErrGone using !=`
+		return true
+	}
+	return false
+}
+
+// compareOK: nil checks are fine, and errors.Is is the blessed form.
+func compareOK(err error) bool {
+	if err == nil || ErrGone == nil {
+		return false
+	}
+	return errors.Is(err, ErrGone)
+}

@@ -1,0 +1,13 @@
+package floatmerge_test
+
+import (
+	"testing"
+
+	"servet/internal/analysis/analysistest"
+	"servet/internal/analysis/floatmerge"
+)
+
+func TestFloatmerge(t *testing.T) {
+	td := analysistest.TestData(t)
+	analysistest.Run(t, td, floatmerge.Analyzer, "floatmerge")
+}

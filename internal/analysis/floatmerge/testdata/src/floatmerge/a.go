@@ -1,0 +1,56 @@
+// Package floatmerge exercises the concurrent-float-merge analyzer.
+package floatmerge
+
+import (
+	"context"
+
+	"servet/internal/sched"
+)
+
+func goStmt() float64 {
+	var total float64
+	done := make(chan struct{})
+	go func() {
+		total += 1.5 // want `float accumulation into captured "total" inside a go statement`
+		close(done)
+	}()
+	<-done
+	return total
+}
+
+func taskClosure(ctx context.Context) (float64, error) {
+	var sum float64
+	tasks := []sched.Task{{
+		Name: "t",
+		Run: func(ctx context.Context) error {
+			sum = sum + 2 // want `float accumulation into captured "sum" inside a sched\.Task closure`
+			return nil
+		},
+	}}
+	_, err := sched.Run(ctx, tasks, 1)
+	return sum, err
+}
+
+func schedArg(ctx context.Context) (float64, error) {
+	var acc float64
+	err := sched.Go(ctx, func(ctx context.Context) error {
+		acc -= 0.5 // want `float accumulation into captured "acc" inside a sched-scheduled closure`
+		return nil
+	})
+	return acc, err
+}
+
+// sweepOK is the blessed discipline: accumulate locally, then write
+// into a disjoint slot of the shared slice.
+func sweepOK() []float64 {
+	slots := make([]float64, 4)
+	done := make(chan struct{})
+	go func() {
+		var local float64
+		local += 3
+		slots[0] = local
+		close(done)
+	}()
+	<-done
+	return slots
+}

@@ -1,0 +1,216 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	// ImportPath is the package's canonical import path.
+	ImportPath string
+	// Dir is the directory holding the sources.
+	Dir string
+	// Fset resolves positions of Files.
+	Fset *token.FileSet
+	// Files are the parsed non-test sources, with comments.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info holds the type-checker's facts about Files.
+	Info *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader
+// consumes.
+type listedPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+	Standard   bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -export -json -deps` in dir and decodes the
+// concatenated JSON stream. -export makes the go tool compile every
+// listed package and report the path of its export data, which is how
+// the type checker resolves imports without a network or a vendored
+// x/tools: the same mechanism `go vet` feeds its unitchecker with.
+func goList(dir string, patterns []string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-e", "-export", "-json", "-deps", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("analysis: go list: %w\n%s", err, stderr.String())
+	}
+	dec := json.NewDecoder(&stdout)
+	var out []*listedPackage
+	for {
+		var p listedPackage
+		err := dec.Decode(&p)
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("analysis: go list output: %w", err)
+		}
+		out = append(out, &p)
+	}
+	return out, nil
+}
+
+// exportImporter resolves imports from the export-data files `go list
+// -export` reported, through the standard gc importer.
+type exportImporter struct {
+	imp   types.ImporterFrom
+	files map[string]string // import path -> export data file
+}
+
+// newExportImporter builds an importer over the listing's export
+// files.
+func newExportImporter(fset *token.FileSet, pkgs []*listedPackage) *exportImporter {
+	files := make(map[string]string, len(pkgs))
+	for _, p := range pkgs {
+		if p.Export != "" {
+			files[p.ImportPath] = p.Export
+		}
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := files[path]
+		if !ok {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	return &exportImporter{
+		imp:   importer.ForCompiler(fset, "gc", lookup).(types.ImporterFrom),
+		files: files,
+	}
+}
+
+func (e *exportImporter) Import(path string) (*types.Package, error) {
+	return e.imp.Import(path)
+}
+
+func (e *exportImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	return e.imp.ImportFrom(path, dir, mode)
+}
+
+// ExportFiles lists the patterns in dir and returns the import path →
+// export-data file map for every listed package that has export data.
+// The fixture loader in analysistest uses it to resolve standard
+// library imports the same way Load resolves dependencies.
+func ExportFiles(dir string, patterns []string) (map[string]string, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	files := make(map[string]string, len(listed))
+	for _, p := range listed {
+		if p.Export != "" {
+			files[p.ImportPath] = p.Export
+		}
+	}
+	return files, nil
+}
+
+// NewTypesInfo returns an Info with every fact map the analyzers
+// consult allocated.
+func NewTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// CheckFiles parses and type-checks one package's source files with
+// imports resolved by imp, returning the analysis-ready package. The
+// shared entry point of the tree loader below and the fixture loader
+// in analysistest.
+func CheckFiles(fset *token.FileSet, importPath, dir string, fileNames []string, imp types.Importer) (*Package, error) {
+	var files []*ast.File
+	for _, name := range fileNames {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: package %s has no Go files", importPath)
+	}
+	info := NewTypesInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: typecheck %s: %w", importPath, err)
+	}
+	return &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}
+
+// Load lists the patterns in dir (the module root, typically "./...")
+// and returns each matched package parsed and type-checked from
+// source, with dependencies resolved from compiled export data.
+// Test files are not loaded: the determinism contract binds what
+// reports are computed from; tests are free to use the wall clock and
+// stateful randomness.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range listed {
+		if p.Error != nil && !p.DepOnly {
+			return nil, fmt.Errorf("analysis: %s: %s", p.ImportPath, p.Error.Err)
+		}
+	}
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, listed)
+	var out []*Package
+	for _, p := range listed {
+		if p.DepOnly || p.Standard || len(p.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := CheckFiles(fset, p.ImportPath, p.Dir, p.GoFiles, imp)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ImportPath < out[j].ImportPath })
+	return out, nil
+}

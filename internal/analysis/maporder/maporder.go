@@ -1,0 +1,180 @@
+// Package maporder flags range statements over maps whose iteration
+// order leaks into ordered output: bodies that append to a slice,
+// accumulate floating-point values, encode or write output, or send
+// on a channel. Go randomizes map iteration order per run, so any of
+// these turns a deterministic computation into one that differs
+// between executions — the exact class of bug the suite's
+// byte-identical-report goldens exist to catch, detected here before
+// a golden ever has to fail.
+//
+// The one blessed escape is establishing order explicitly: a range
+// body that appends into a slice is accepted when that slice is
+// subsequently sorted in the same function (the collect-then-sort
+// idiom: gather keys or rows, sort.Strings/sort.Slice them, then do
+// the order-sensitive work over the sorted slice). Float accumulation
+// is arithmetic, not ordering — but float addition is not
+// associative, so even a post-sorted sum would have been computed in
+// map order; it is always flagged.
+package maporder
+
+import (
+	"go/ast"
+	"go/types"
+
+	"servet/internal/analysis"
+)
+
+// Analyzer is the maporder check.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc:  "flag map iteration whose order reaches slices, float sums, output or channels",
+	Run:  run,
+}
+
+// writerFuncs are call names (the selector's final identifier) that
+// emit ordered output: writing or encoding inside a map range makes
+// the emission order the map's.
+var writerFuncs = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Encode": true, "Fprintf": true, "Fprintln": true, "Fprint": true,
+	"Printf": true, "Println": true, "Print": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		// Walk functions so the sorted-later exemption can see every
+		// statement that follows the range within the same function.
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body == nil {
+				return true
+			}
+			ast.Inspect(body, func(n ast.Node) bool {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				if _, isMap := pass.TypesInfo.Types[rng.X].Type.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				checkMapRange(pass, body, rng)
+				return true
+			})
+			return false // nested funcs were visited by the inner walk
+		})
+	}
+	return nil
+}
+
+// checkMapRange inspects one map-range body for order-sensitive
+// operations.
+func checkMapRange(pass *analysis.Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.SendStmt:
+			pass.Reportf(st.Pos(), "send on a channel inside range over a map: receive order follows map iteration order; collect into a slice and sort first")
+		case *ast.AssignStmt:
+			checkAssign(pass, fnBody, rng, st)
+		case *ast.CallExpr:
+			if fn := analysis.CalleeFunc(pass.TypesInfo, st); fn != nil && writerFuncs[fn.Name()] {
+				pass.Reportf(st.Pos(), "%s inside range over a map: output order follows map iteration order; iterate sorted keys instead", fn.Name())
+			}
+		}
+		return true
+	})
+}
+
+// checkAssign flags appends and float accumulation in the range body.
+func checkAssign(pass *analysis.Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt, st *ast.AssignStmt) {
+	info := pass.TypesInfo
+	// Float accumulation: x += v, x -= v, or x = x + v with x floating.
+	if len(st.Lhs) == 1 {
+		lhsT := info.Types[st.Lhs[0]].Type
+		if lhsT != nil && isFloat(lhsT) {
+			accum := st.Tok.String() == "+=" || st.Tok.String() == "-=" || st.Tok.String() == "*="
+			if !accum && st.Tok.String() == "=" && len(st.Rhs) == 1 {
+				if bin, ok := ast.Unparen(st.Rhs[0]).(*ast.BinaryExpr); ok && sameExpr(bin.X, st.Lhs[0]) {
+					accum = true
+				}
+			}
+			if accum {
+				pass.Reportf(st.Pos(), "float accumulation inside range over a map: float addition is not associative, so the sum depends on iteration order; accumulate into disjoint slots and merge in index order (the sweep idiom)")
+				return
+			}
+		}
+	}
+	// Appends: s = append(s, ...), allowed only when s is later sorted.
+	for i, rhs := range st.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || !isAppend(info, call) || i >= len(st.Lhs) {
+			continue
+		}
+		dest, ok := ast.Unparen(st.Lhs[i]).(*ast.Ident)
+		if !ok {
+			// append into a map-indexed or field slice: no tractable
+			// sorted-later proof, so always flagged.
+			pass.Reportf(st.Pos(), "append into a non-local slice inside range over a map: element order follows map iteration order; iterate sorted keys instead")
+			continue
+		}
+		if !sortedAfter(pass, fnBody, rng, info.Uses[dest]) {
+			pass.Reportf(st.Pos(), "append inside range over a map without sorting %s afterwards: element order follows map iteration order; sort the slice (or collect sorted keys first)", dest.Name)
+		}
+	}
+}
+
+// sortedAfter reports whether the function body contains, after the
+// range statement, a sort call whose first argument is obj.
+func sortedAfter(pass *analysis.Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt, obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= rng.End() {
+			return true
+		}
+		arg, ok := analysis.IsSortCall(pass.TypesInfo, call)
+		if !ok {
+			return true
+		}
+		if id, ok := ast.Unparen(arg).(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// sameExpr reports whether two expressions are the same simple
+// identifier (the only shape the x = x + v accumulation check needs).
+func sameExpr(a, b ast.Expr) bool {
+	ida, ok1 := ast.Unparen(a).(*ast.Ident)
+	idb, ok2 := ast.Unparen(b).(*ast.Ident)
+	return ok1 && ok2 && ida.Name == idb.Name
+}

@@ -1,0 +1,13 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"servet/internal/analysis/analysistest"
+	"servet/internal/analysis/maporder"
+)
+
+func TestMaporder(t *testing.T) {
+	td := analysistest.TestData(t)
+	analysistest.Run(t, td, maporder.Analyzer, "maporder")
+}

@@ -1,0 +1,79 @@
+// Package maporder exercises the map-iteration-order analyzer.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+)
+
+func appendUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `append inside range over a map without sorting out afterwards`
+	}
+	return out
+}
+
+// appendSorted is the blessed collect-then-sort idiom.
+func appendSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// appendSortSlice establishes order with sort.Slice instead.
+func appendSortSlice(m map[string]int) []int {
+	var vs []int
+	for _, v := range m {
+		vs = append(vs, v)
+	}
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	return vs
+}
+
+func appendNonLocal(m map[string]int, by map[int][]string) {
+	for k, v := range m {
+		by[v] = append(by[v], k) // want `append into a non-local slice inside range over a map`
+	}
+}
+
+func floatSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `float accumulation inside range over a map`
+	}
+	return sum
+}
+
+func floatSumAssign(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum = sum + v // want `float accumulation inside range over a map`
+	}
+	return sum
+}
+
+func send(m map[string]int, ch chan<- string) {
+	for k := range m {
+		ch <- k // want `send on a channel inside range over a map`
+	}
+}
+
+func write(m map[string]int) {
+	for k := range m {
+		fmt.Println(k) // want `Println inside range over a map`
+	}
+}
+
+// intSum is fine: integer addition is associative, so the map order
+// cannot reach the result.
+func intSum(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}

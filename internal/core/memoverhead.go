@@ -159,9 +159,13 @@ func scaleGroup(m *topology.Machine, lvl report.OverheadLevel, levelIdx int, mea
 	for n := 1; n <= len(order); n++ {
 		active := order[:n]
 		per := measure(rep, active, memNoiseScal, int64(levelIdx), int64(n))
+		// Sum the shares in active order: map iteration would add the
+		// floats in per-run random order, and float addition is not
+		// associative, so the aggregate could differ between runs.
+		shares := memsys.FairShare(m, active)
 		agg := 0.0
-		for _, share := range memsys.FairShare(m, active) {
-			agg += share
+		for _, c := range active {
+			agg += shares[c]
 		}
 		points = append(points, report.ScalPoint{
 			Cores:        n,

@@ -213,8 +213,9 @@ func Run(ctx context.Context, tasks []Task, parallelism int) ([]Result, error) {
 		launched[i] = true
 		inFlight++
 		go func() {
-			t0 := time.Now()
+			t0 := time.Now() //servet:wallclock — task wall-time provenance (report Timings), never a measurement input
 			err := tasks[i].Run(runCtx)
+			//servet:wallclock
 			done <- completion{idx: i, wall: time.Since(t0), err: err}
 		}()
 	}

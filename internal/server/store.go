@@ -148,7 +148,7 @@ func (s *DirStore) Get(fingerprint string) (*report.Report, error) {
 		if os.IsNotExist(errors.Unwrap(err)) || errors.Is(err, os.ErrNotExist) {
 			return nil, fmt.Errorf("%w: %s", ErrNotFound, fingerprint)
 		}
-		return nil, fmt.Errorf("%w: %s: %v", ErrNotFound, fingerprint, err)
+		return nil, fmt.Errorf("%w: %s: %w", ErrNotFound, fingerprint, err)
 	}
 	return r, nil
 }

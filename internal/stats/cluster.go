@@ -78,17 +78,28 @@ func Components(pairs [][2]int) [][]int {
 	for _, p := range pairs {
 		union(p[0], p[1])
 	}
-	groups := map[int][]int{}
+	// Walk the vertices in sorted order (the collect-then-sort idiom):
+	// each group then accumulates its members ascending, and since
+	// union keeps the smallest vertex as root, roots — and hence the
+	// groups — surface ordered by smallest member by construction.
+	vertices := make([]int, 0, len(parent))
 	for x := range parent {
+		vertices = append(vertices, x)
+	}
+	sort.Ints(vertices)
+	groups := map[int][]int{}
+	var roots []int
+	for _, x := range vertices {
 		r := find(x)
+		if _, ok := groups[r]; !ok {
+			roots = append(roots, r)
+		}
 		groups[r] = append(groups[r], x)
 	}
-	out := make([][]int, 0, len(groups))
-	for _, g := range groups {
-		sort.Ints(g)
-		out = append(out, g)
+	out := make([][]int, 0, len(roots))
+	for _, r := range roots {
+		out = append(out, groups[r])
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
 	return out
 }
 

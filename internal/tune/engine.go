@@ -159,7 +159,7 @@ func Tune(ctx context.Context, r *report.Report, sp Space, obj Objective, opt Op
 		return nil, err
 	}
 
-	start := time.Now()
+	start := time.Now() //servet:wallclock — result provenance (Timestamp/Wall), never a search input
 	hist := &History{
 		Space:  &sp,
 		Seed:   opt.Seed,
@@ -240,7 +240,8 @@ func Tune(ctx context.Context, r *report.Report, sp Space, obj Objective, opt Op
 		Rounds:      hist.Round,
 		Provenance: Provenance{
 			Timestamp: start.UTC(),
-			Wall:      time.Since(start),
+			//servet:wallclock
+			Wall: time.Since(start),
 		},
 	}
 	res.Trace = make([]TracePoint, len(hist.Evals))

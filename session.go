@@ -237,7 +237,7 @@ func (s *Session) Run(ctx context.Context, probes ...string) (*Report, error) {
 
 	rep.Schema = report.CurrentSchema
 	rep.Fingerprint = s.fingerprint
-	now := time.Now().UTC()
+	now := time.Now().UTC() //servet:wallclock — provenance timestamp, never a measurement input
 	wall := make(map[string]time.Duration, len(rep.Timings))
 	for _, tm := range rep.Timings {
 		wall[tm.Stage] = tm.Wall
