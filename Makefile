@@ -5,13 +5,17 @@
 
 GO ?= go
 
-# Perf-trajectory knobs.
-BENCH_N        ?= 7
+# Perf-trajectory knobs. When BENCH_BASELINE is set, benchjson also
+# gates the run: b/op or allocs/op regressions beyond BENCH_GATE_TOL
+# fail `make bench` (set BENCH_GATE=0 to record without gating).
+BENCH_N        ?= 9
 BENCH_OUT      ?= BENCH_$(BENCH_N).json
 BENCH_COUNT    ?= 3
 BENCH_REGEX    ?= .
 BENCH_PKGS     ?= ./internal/memsys ./internal/core ./internal/tune
 BENCH_BASELINE ?=
+BENCH_GATE     ?= 1
+BENCH_GATE_TOL ?= 0.10
 
 .PHONY: build test vet lint bench clean
 
@@ -38,7 +42,8 @@ bench:
 	$(GO) build -o bin/benchjson ./cmd/benchjson
 	$(GO) test -run '^$$' -bench '$(BENCH_REGEX)' -benchmem -count $(BENCH_COUNT) $(BENCH_PKGS) \
 		| ./bin/benchjson -issue $(BENCH_N) -o $(BENCH_OUT) \
-			$(if $(BENCH_BASELINE),-baseline $(BENCH_BASELINE))
+			$(if $(BENCH_BASELINE),-baseline $(BENCH_BASELINE) \
+				$(if $(filter-out 0,$(BENCH_GATE)),-gate -gate-tol $(BENCH_GATE_TOL)))
 	@echo "wrote $(BENCH_OUT)"
 
 clean:

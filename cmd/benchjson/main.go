@@ -11,6 +11,14 @@
 // The -baseline flag accepts either a previous BENCH_*.json (its
 // "benchmarks" section becomes the baseline) or raw `go test -bench`
 // text.
+//
+// With -gate, memory regressions against the baseline fail the run:
+// any benchmark present in both documents whose b_per_op or
+// allocs_per_op exceeds the baseline by more than -gate-tol (plus a
+// small absolute slack absorbing runtime jitter) exits non-zero after
+// the output is written. Only the memory metrics are gated — they are
+// deterministic per build, while ns/op is far too noisy on shared CI
+// runners.
 package main
 
 import (
@@ -50,8 +58,13 @@ func main() {
 		out      = flag.String("o", "", "output path (default stdout)")
 		baseline = flag.String("baseline", "", "baseline: a prior BENCH_*.json or raw `go test -bench` text")
 		issue    = flag.Int("issue", 0, "issue number recorded in the document")
+		gate     = flag.Bool("gate", false, "with -baseline: fail on b/op or allocs/op regressions beyond -gate-tol")
+		gateTol  = flag.Float64("gate-tol", 0.10, "relative headroom before a memory regression fails the gate")
 	)
 	flag.Parse()
+	if *gate && *baseline == "" {
+		fatal(fmt.Errorf("-gate requires -baseline"))
+	}
 
 	doc, err := parseBench(os.Stdin)
 	if err != nil {
@@ -84,12 +97,64 @@ func main() {
 	data = append(data, '\n')
 	if *out == "" {
 		os.Stdout.Write(data)
-		return
+	} else {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fatal(err)
+		}
+		printSummary(doc)
 	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		fatal(err)
+	// Gate after writing: the document (with the regressed numbers) is
+	// always produced for inspection, the exit code reports the verdict.
+	if *gate {
+		if regs := memRegressions(doc.Benchmarks, doc.Baseline, *gateTol); len(regs) > 0 {
+			for _, r := range regs {
+				fmt.Fprintln(os.Stderr, "benchjson: regression:", r)
+			}
+			os.Exit(1)
+		}
 	}
-	printSummary(doc)
+}
+
+// Absolute slack the gate tolerates on top of the relative headroom,
+// so near-zero baselines (0 allocs/op, a few bytes/op) do not fail on
+// one-object runtime jitter.
+const (
+	gateSlackBytes  = 512
+	gateSlackAllocs = 8
+)
+
+// memRegressions compares the memory metrics of every benchmark
+// present in both documents and describes each one exceeding
+// baseline*(1+tol) plus the absolute slack. Benchmarks only on one
+// side are ignored: adding or retiring benchmarks is not a
+// regression.
+func memRegressions(cur, base map[string]Result, tol float64) []string {
+	names := make([]string, 0, len(cur))
+	for n := range cur {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var out []string
+	for _, n := range names {
+		b, ok := base[n]
+		if !ok {
+			continue
+		}
+		c := cur[n]
+		if over(c.BPerOp, b.BPerOp, tol, gateSlackBytes) {
+			out = append(out, fmt.Sprintf("%s: b_per_op %d exceeds baseline %d by more than %.0f%%", n, c.BPerOp, b.BPerOp, tol*100))
+		}
+		if over(c.AllocsPerOp, b.AllocsPerOp, tol, gateSlackAllocs) {
+			out = append(out, fmt.Sprintf("%s: allocs_per_op %d exceeds baseline %d by more than %.0f%%", n, c.AllocsPerOp, b.AllocsPerOp, tol*100))
+		}
+	}
+	return out
+}
+
+// over reports whether cur exceeds base by more than the relative
+// tolerance plus the absolute slack.
+func over(cur, base int64, tol float64, slack int64) bool {
+	return cur > int64(float64(base)*(1+tol))+slack
 }
 
 func fatal(err error) {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"servet/internal/memsys"
@@ -277,10 +278,13 @@ func DetectCaches(m *topology.Machine, coreID int, opt Options) ([]DetectedCache
 
 // refineWindow re-measures a transition window on a denser size grid
 // (grid points plus page-aligned midpoints) with 3x the allocations,
-// returning the refined series. Each (size, allocation) builds its own
-// memory-system instance keyed under the refinement's own family, so
-// refined measurements never alias the grid sweep's placements. Probe
-// cost is accounted into the calibration.
+// returning the refined series. The refined sizes are sharded over
+// the engine's scheduler like the main grid, each worker owning one
+// pooled instance reset in place per (size, allocation) under the
+// refinement's own key family, so refined measurements never alias
+// the grid sweep's placements and the refined series is
+// byte-identical at any Options.Parallelism. Probe cost is accounted
+// into the calibration in size order.
 func refineWindow(m *topology.Machine, coreID int, cal *Calibration, opt Options, loIdx, hiIdx int) ([]int64, []float64) {
 	pageBytes := m.PageBytes
 	var sizes []int64
@@ -295,22 +299,33 @@ func refineWindow(m *topology.Machine, coreID int, cal *Calibration, opt Options
 		}
 	}
 	allocs := 3 * opt.Allocations
+	samples, err := sweepScratch(context.Background(), "mcal-refine", len(sizes), opt.Parallelism,
+		func() *memsys.Instance { return memsys.NewInstanceAt(m, opt.Seed) },
+		func(in *memsys.Instance, i int) (mcalSample, error) {
+			var s mcalSample
+			for a := 0; a < allocs; a++ {
+				// The window's loIdx joins the key: indices are local to the
+				// window, and without it a second smeared transition (an L3
+				// behind a fuzzy L2) would replay the first window's
+				// placement stream instead of drawing independent samples.
+				in.ResetAt(opt.Seed, noiseMcalRefine, int64(coreID), int64(loIdx), int64(i), int64(a))
+				sp := in.NewSpace()
+				arr := sp.Alloc(sizes[i])
+				avg, total := traverse(in, coreID, sp, arr, opt.StrideBytes, opt.Passes)
+				s.avg += avg
+				s.total += total
+			}
+			return s, nil
+		})
+	if err != nil {
+		// The background context cannot be cancelled and the
+		// measurements themselves never fail, so this is unreachable.
+		panic("core: refinement sweep failed without cancellation: " + err.Error())
+	}
 	cycles := make([]float64, len(sizes))
-	for i, size := range sizes {
-		sum := 0.0
-		for a := 0; a < allocs; a++ {
-			// The window's loIdx joins the key: indices are local to the
-			// window, and without it a second smeared transition (an L3
-			// behind a fuzzy L2) would replay the first window's
-			// placement stream instead of drawing independent samples.
-			in := memsys.NewInstanceAt(m, opt.Seed, noiseMcalRefine, int64(coreID), int64(loIdx), int64(i), int64(a))
-			sp := in.NewSpace()
-			arr := sp.Alloc(size)
-			avg, total := traverse(in, coreID, sp, arr, opt.StrideBytes, opt.Passes)
-			cal.ProbeCycles += total
-			sum += avg
-		}
-		cycles[i] = sum / float64(allocs)
+	for i, s := range samples {
+		cal.ProbeCycles += s.total
+		cycles[i] = s.avg / float64(allocs)
 	}
 	return sizes, cycles
 }

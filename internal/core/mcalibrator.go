@@ -59,39 +59,29 @@ func Mcalibrator(m *topology.Machine, core int, opt Options) Calibration {
 
 // McalibratorContext runs the Fig. 1 calibration loop with its size
 // grid sharded over the engine's scheduler: sizes are independent
-// measurements, so each (size, allocation) builds its own
-// memory-system instance via memsys.NewInstanceAt, seeded from (Seed,
-// probe family, core, size index, allocation) — identical by
-// construction no matter which worker measures it or in what order.
-// Each size is measured on opt.Allocations freshly placed arrays
-// (physically indexed caches behave probabilistically, so one mapping
-// is one sample) with one warm-up traversal (the array initialization
-// of Fig. 1 warms the cache) and opt.Passes measured traversals.
-// Workers record raw cycle counts into disjoint slots; the
-// order-sensitive ProbeCycles float sum and the stateless noise
-// perturbation happen in a sequential merge in size order, so the
-// calibration is byte-identical at any Options.Parallelism.
+// measurements, and each (size, allocation) measures a memory system
+// whose page placement is seeded from (Seed, probe family, core, size
+// index, allocation) — identical by construction no matter which
+// worker measures it or in what order. Each worker owns one pooled
+// memsys.Instance, reset in place per measurement (ResetAt is
+// bitwise-equivalent to building fresh), so the sweep allocates
+// nothing in steady state. Each size is measured on opt.Allocations
+// freshly placed arrays (physically indexed caches behave
+// probabilistically, so one mapping is one sample) with one warm-up
+// traversal (the array initialization of Fig. 1 warms the cache) and
+// opt.Passes measured traversals. Workers record raw cycle counts
+// into disjoint slots; the order-sensitive ProbeCycles float sum and
+// the stateless noise perturbation happen in a sequential merge in
+// size order, so the calibration is byte-identical at any
+// Options.Parallelism.
 func McalibratorContext(ctx context.Context, m *topology.Machine, core int, opt Options) (Calibration, error) {
 	opt = opt.withDefaults(m)
 	sizes := SizeGrid(opt.MinCacheBytes, opt.MaxCacheBytes)
-	samples, err := sweep(ctx, "mcal", len(sizes), opt.Parallelism, func(i int) (mcalSample, error) {
-		var s mcalSample
-		for alloc := 0; alloc < opt.Allocations; alloc++ {
-			// Each allocation is a full traversal; keep cancellation at
-			// that granularity.
-			if err := ctx.Err(); err != nil {
-				return mcalSample{}, err
-			}
-			in := memsys.NewInstanceAt(m, opt.Seed, noiseMcal, int64(core), int64(i), int64(alloc))
-			sp := in.NewSpace()
-			a := sp.Alloc(sizes[i])
-			avg, total := traverse(in, core, sp, a, opt.StrideBytes, opt.Passes)
-			s.avg += avg
-			s.total += total
-		}
-		s.avg /= float64(opt.Allocations)
-		return s, nil
-	})
+	samples, err := sweepScratch(ctx, "mcal", len(sizes), opt.Parallelism,
+		func() *memsys.Instance { return memsys.NewInstanceAt(m, opt.Seed) },
+		func(in *memsys.Instance, i int) (mcalSample, error) {
+			return measureMcalSize(ctx, in, core, opt, i, sizes[i])
+		})
 	if err != nil {
 		return Calibration{}, err
 	}
@@ -103,6 +93,30 @@ func McalibratorContext(ctx context.Context, m *topology.Machine, core int, opt 
 		cal.Cycles[i] = perturbAt(s.avg, opt.NoiseSigma, opt.Seed, noiseMcal, int64(core), int64(i))
 	}
 	return cal, nil
+}
+
+// measureMcalSize measures one point of the mcalibrator size grid on
+// a pooled instance: opt.Allocations independent placements, each
+// resetting the instance to exactly the state a fresh per-(size,
+// allocation) instance would have. Allocation-free on a warm
+// instance.
+func measureMcalSize(ctx context.Context, in *memsys.Instance, core int, opt Options, i int, size int64) (mcalSample, error) {
+	var s mcalSample
+	for alloc := 0; alloc < opt.Allocations; alloc++ {
+		// Each allocation is a full traversal; keep cancellation at
+		// that granularity.
+		if err := ctx.Err(); err != nil {
+			return mcalSample{}, err
+		}
+		in.ResetAt(opt.Seed, noiseMcal, int64(core), int64(i), int64(alloc))
+		sp := in.NewSpace()
+		a := sp.Alloc(size)
+		avg, total := traverse(in, core, sp, a, opt.StrideBytes, opt.Passes)
+		s.avg += avg
+		s.total += total
+	}
+	s.avg /= float64(opt.Allocations)
+	return s, nil
 }
 
 // traverse walks the array with the probe stride: one warm-up pass and
@@ -124,13 +138,13 @@ func traverse(in *memsys.Instance, core int, sp *memsys.Space, a *memsys.Array, 
 	return measured / float64(n), total
 }
 
-// traversalAddrs builds the address sequence of one strided traversal,
-// for the concurrent streams of the shared-cache benchmark.
-func traversalAddrs(a *memsys.Array, stride int64) []int64 {
-	n := (a.Bytes + stride - 1) / stride
-	addrs := make([]int64, 0, n)
+// appendTraversalAddrs appends the address sequence of one strided
+// traversal to dst — for the concurrent streams of the shared-cache
+// benchmark, whose pooled scratch reuses the buffer across
+// measurements.
+func appendTraversalAddrs(dst []int64, a *memsys.Array, stride int64) []int64 {
 	for off := int64(0); off < a.Bytes; off += stride {
-		addrs = append(addrs, a.Base+off)
+		dst = append(dst, a.Base+off)
 	}
-	return addrs
+	return dst
 }

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"servet/internal/memsys"
+	"servet/internal/topology"
+)
+
+// Steady-state allocation tests for the pooled sweeps: once a worker's
+// scratch has served one measurement of a shape, further measurements
+// must allocate nothing — the tentpole contract of the pooled
+// measurement pipeline.
+
+func TestPooledMcalMeasurementAllocFree(t *testing.T) {
+	m := topology.Dempsey()
+	opt := Options{Seed: 1, Allocations: 2}.withDefaults(m)
+	in := memsys.NewInstanceAt(m, opt.Seed)
+	ctx := context.Background()
+	size := int64(256 * topology.KB)
+	if _, err := measureMcalSize(ctx, in, 0, opt, 3, size); err != nil {
+		t.Fatal(err)
+	}
+	n := testing.AllocsPerRun(5, func() {
+		if _, err := measureMcalSize(ctx, in, 0, opt, 4, size); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if n != 0 {
+		t.Errorf("warm mcalibrator measurement allocates %v/op, want 0", n)
+	}
+}
+
+func TestPooledSharedCacheMeasurementAllocFree(t *testing.T) {
+	m := topology.FinisTerrae(1)
+	opt := Options{Seed: 1, Allocations: 1}.withDefaults(m)
+	sc := &scScratch{in: memsys.NewInstanceAt(m, opt.Seed)}
+	ab := int64(64 * topology.KB)
+	sc.measureRef(opt, 1, 0, ab)
+	sc.measurePair(opt, 1, 0, [2]int{0, 1}, 0, ab)
+	n := testing.AllocsPerRun(5, func() {
+		sc.measureRef(opt, 2, 1, ab)
+		sc.measurePair(opt, 2, 1, [2]int{0, 2}, 1, ab)
+	})
+	if n != 0 {
+		t.Errorf("warm shared-cache measurement allocates %v/op, want 0", n)
+	}
+}
+
+// TestPooledMeasurementMatchesFreshInstance: the pooled measurement
+// bodies reproduce the historical fresh-instance results bit for bit —
+// the property the sharded-parity goldens rest on, checked here at the
+// single-measurement level.
+func TestPooledMeasurementMatchesFreshInstance(t *testing.T) {
+	m := topology.Dempsey()
+	opt := Options{Seed: 1, Allocations: 3}.withDefaults(m)
+	size := int64(384 * topology.KB)
+
+	in := memsys.NewInstanceAt(m, opt.Seed)
+	// Dirty the pool with a different measurement first.
+	if _, err := measureMcalSize(context.Background(), in, 0, opt, 9, 128*topology.KB); err != nil {
+		t.Fatal(err)
+	}
+	got, err := measureMcalSize(context.Background(), in, 0, opt, 5, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var want mcalSample
+	for alloc := 0; alloc < opt.Allocations; alloc++ {
+		fresh := memsys.NewInstanceAt(m, opt.Seed, noiseMcal, 0, 5, int64(alloc))
+		sp := fresh.NewSpace()
+		a := sp.Alloc(size)
+		avg, total := traverse(fresh, 0, sp, a, opt.StrideBytes, opt.Passes)
+		want.avg += avg
+		want.total += total
+	}
+	want.avg /= float64(opt.Allocations)
+	if got != want {
+		t.Errorf("pooled measurement %+v, fresh instances %+v", got, want)
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"context"
 	"time"
 
-	"servet/internal/memsys"
 	"servet/internal/report"
 	"servet/internal/topology"
 )
@@ -302,8 +301,7 @@ func (tlbProbe) Name() string   { return probeTLB }
 func (tlbProbe) Deps() []string { return nil }
 
 func (tlbProbe) Run(ctx context.Context, env *Env) (Partial, error) {
-	in := memsys.NewInstance(env.Machine, env.Opt.Seed)
-	res, ok := DetectTLB(in, 0, env.Opt)
+	res, ok := DetectTLB(env.Machine, 0, env.Opt)
 	return Partial{
 		Apply: func(r *report.Report) {
 			if ok {

@@ -83,21 +83,51 @@ func runShards(ctx context.Context, tasks []sched.Task, parallelism int) error {
 // error (or cancellation) aborts the sweep and is returned unwrapped,
 // exactly as an inline loop would have reported it.
 func sweep[T any](ctx context.Context, name string, n, parallelism int, measure func(i int) (T, error)) ([]T, error) {
+	return sweepScratch(ctx, name, n, parallelism,
+		func() struct{} { return struct{}{} },
+		func(_ struct{}, i int) (T, error) { return measure(i) })
+}
+
+// sweepScratch is sweep with per-worker scratch: newScratch builds one
+// scratch per concurrently running chunk (pooled across chunks via a
+// free list), and every measurement runs as measure(scratch, i). The
+// pooled-instance sweeps use it to reuse one memsys.Instance — reset
+// in place between measurements — instead of rebuilding it per index.
+//
+// Which scratch serves which chunk depends on completion order, so a
+// scratch must carry no state a measurement observes: measure must
+// fully re-derive everything from its stable keys (for pooled
+// instances, ResetAt's bitwise-equivalence contract guarantees
+// exactly that), keeping results byte-identical at any parallelism.
+func sweepScratch[T, S any](ctx context.Context, name string, n, parallelism int, newScratch func() S, measure func(scratch S, i int) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return nil, nil
 	}
 	out := make([]T, n)
-	var tasks []sched.Task
-	for ci, r := range chunkRanges(n, parallelism) {
+	ranges := chunkRanges(n, parallelism)
+	// Free list of idle scratches: a chunk grabs one (or builds its
+	// own when none is idle) and returns it when done, so the number of
+	// live scratches is bounded by the peak number of concurrently
+	// running chunks, not by the chunk count.
+	pool := make(chan S, len(ranges))
+	tasks := make([]sched.Task, 0, len(ranges))
+	for ci, r := range ranges {
 		start, end := r[0], r[1]
 		tasks = append(tasks, sched.Task{
 			Name: fmt.Sprintf("%s:%d", name, ci),
 			Run: func(ctx context.Context) error {
+				var scratch S
+				select {
+				case scratch = <-pool:
+				default:
+					scratch = newScratch()
+				}
+				defer func() { pool <- scratch }()
 				for i := start; i < end; i++ {
 					if err := ctx.Err(); err != nil {
 						return err
 					}
-					v, err := measure(i)
+					v, err := measure(scratch, i)
 					if err != nil {
 						return err
 					}

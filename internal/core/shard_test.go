@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"runtime"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 )
@@ -133,5 +134,71 @@ func TestSweepCancelledContext(t *testing.T) {
 	_, err := sweep(ctx, "t", 20, 4, func(i int) (int, error) { return i, nil })
 	if !errors.Is(err, context.Canceled) {
 		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestSweepScratchSequentialReuse: at parallelism 1 exactly one
+// scratch is built and threaded through every chunk, and every
+// measurement still lands in its own slot.
+func TestSweepScratchSequentialReuse(t *testing.T) {
+	built := 0
+	out, err := sweepScratch(context.Background(), "t", 20, 1,
+		func() *int { built++; v := 0; return &v },
+		func(sc *int, i int) (int, error) {
+			*sc++ // scratch is worker-private state
+			return i * 10, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if built != 1 {
+		t.Errorf("built %d scratches at parallelism 1, want 1", built)
+	}
+	for i, v := range out {
+		if v != i*10 {
+			t.Fatalf("slot %d = %d, want %d", i, v, i*10)
+		}
+	}
+}
+
+// TestSweepScratchBoundedPool: concurrent chunks never build more
+// scratches than the chunk count (the free list recycles idle ones),
+// and results stay index-ordered.
+func TestSweepScratchBoundedPool(t *testing.T) {
+	var built atomic.Int32
+	for _, parallelism := range []int{2, 4, 8} {
+		built.Store(0)
+		n := 100
+		out, err := sweepScratch(context.Background(), "t", n, parallelism,
+			func() *int32 { built.Add(1); v := int32(0); return &v },
+			func(sc *int32, i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, max := built.Load(), int32(len(chunkRanges(n, parallelism))); got < 1 || got > max {
+			t.Errorf("parallelism %d: built %d scratches, want 1..%d", parallelism, got, max)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("parallelism %d: slot %d = %d, want %d", parallelism, i, v, i*i)
+			}
+		}
+	}
+}
+
+// TestSweepScratchPropagatesError: errors unwrap exactly as in the
+// plain sweep.
+func TestSweepScratchPropagatesError(t *testing.T) {
+	boom := errors.New("measurement 3 failed")
+	_, err := sweepScratch(context.Background(), "t", 10, 2,
+		func() struct{} { return struct{}{} },
+		func(_ struct{}, i int) (int, error) {
+			if i == 3 {
+				return 0, boom
+			}
+			return i, nil
+		})
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v, want the measurement's own error", err)
 	}
 }

@@ -88,17 +88,61 @@ type scSample struct {
 	total float64
 }
 
+// scScratch is one worker's pooled measurement state for the Fig. 5
+// sweep: the memory-system instance plus the address buffers, stream
+// headers and stats of the concurrent traversals, all reused across
+// measurements so the steady state allocates nothing.
+type scScratch struct {
+	in      *memsys.Instance
+	addrsA  []int64
+	addrsB  []int64
+	streams [2]memsys.Stream
+	stats   [2]memsys.StreamStats
+}
+
+// measureRef measures a level's isolated single-core reference
+// traversal for one placement, resetting the pooled instance to the
+// state a fresh (Seed, family, level, -1, alloc) instance would have.
+func (sc *scScratch) measureRef(opt Options, level, alloc, ab int64) (avg, total float64) {
+	sc.in.ResetAt(opt.Seed, noiseShared, level, -1, alloc)
+	sp := sc.in.NewSpace()
+	a := sp.Alloc(ab)
+	return traverse(sc.in, 0, sp, a, opt.StrideBytes, opt.Passes)
+}
+
+// measurePair measures one (level, pair) concurrent traversal for one
+// placement on the pooled instance. The interleaved streams run
+// through RunConcurrentInto with the scratch's pooled buffers; the
+// statistics are bit-identical to the historical fresh-instance
+// RunConcurrent path.
+func (sc *scScratch) measurePair(opt Options, level int64, pi int, pair [2]int, alloc, ab int64) (avg, total float64) {
+	sc.in.ResetAt(opt.Seed, noiseShared, level, int64(pi), alloc)
+	spA, spB := sc.in.NewSpace(), sc.in.NewSpace()
+	arrA, arrB := spA.Alloc(ab), spB.Alloc(ab)
+	sc.addrsA = appendTraversalAddrs(sc.addrsA[:0], arrA, opt.StrideBytes)
+	sc.addrsB = appendTraversalAddrs(sc.addrsB[:0], arrB, opt.StrideBytes)
+	sc.streams[0] = memsys.Stream{Core: pair[0], Space: spA, Addrs: sc.addrsA}
+	sc.streams[1] = memsys.Stream{Core: pair[1], Space: spB, Addrs: sc.addrsB}
+	memsys.RunConcurrentInto(sc.in, sc.streams[:], opt.Passes+1, sc.stats[:])
+	avg = (sc.stats[0].AvgCycles() + sc.stats[1].AvgCycles()) / 2
+	total = sc.stats[0].Cycles + sc.stats[1].Cycles
+	return avg, total
+}
+
 // SharedCachePairsContext runs the Fig. 5 sweep sharded over the
 // engine's scheduler: every (level, pair) measurement — and each
-// level's isolated reference — builds its own memory-system instance
-// via memsys.NewInstanceAt, seeded from (Seed, probe family, level,
-// pair index), so the instance is identical by construction no matter
-// which worker runs the measurement or in what order. Workers record
-// only raw cycle counts into disjoint slots; noise perturbation,
-// ratio thresholding, component grouping and the order-sensitive
-// ProbeCycles float sum all happen in a sequential merge in (level,
-// pair) order, which keeps the result byte-identical at any
-// Options.Parallelism.
+// level's isolated reference — measures a memory system whose page
+// placement is seeded from (Seed, probe family, level, pair index),
+// so it is identical by construction no matter which worker runs the
+// measurement or in what order. Each worker owns one pooled
+// memsys.Instance reset in place per measurement (ResetAt is
+// bitwise-equivalent to building fresh), so the sweep — historically
+// ~1.9 GB of instance churn — allocates nothing in steady state.
+// Workers record only raw cycle counts into disjoint slots; noise
+// perturbation, ratio thresholding, component grouping and the
+// order-sensitive ProbeCycles float sum all happen in a sequential
+// merge in (level, pair) order, which keeps the result byte-identical
+// at any Options.Parallelism.
 func SharedCachePairsContext(ctx context.Context, m *topology.Machine, levels []DetectedCache, pairs [][2]int, opt Options) ([]SharedCacheLevel, error) {
 	opt = opt.withDefaults(m)
 
@@ -119,41 +163,31 @@ func SharedCachePairsContext(ctx context.Context, m *topology.Machine, levels []
 	// one mapping is one sample, exactly as in mcalibrator — each built
 	// as its own instance keyed by (Seed, family, level, pair, alloc).
 	stride := 1 + len(pairs)
-	samples, err := sweep(ctx, "shared", len(levels)*stride, opt.Parallelism, func(i int) (scSample, error) {
-		li, slot := i/stride, i%stride
-		level, ab := int64(levels[li].Level), arrayBytes[li]
-		var s scSample
-		for alloc := 0; alloc < opt.Allocations; alloc++ {
-			// Each allocation is a full concurrent traversal; keep
-			// cancellation at that granularity.
-			if err := ctx.Err(); err != nil {
-				return scSample{}, err
-			}
-			if slot == 0 {
-				in := memsys.NewInstanceAt(m, opt.Seed, noiseShared, level, -1, int64(alloc))
-				sp := in.NewSpace()
-				a := sp.Alloc(ab)
-				avg, total := traverse(in, 0, sp, a, opt.StrideBytes, opt.Passes)
+	samples, err := sweepScratch(ctx, "shared", len(levels)*stride, opt.Parallelism,
+		func() *scScratch { return &scScratch{in: memsys.NewInstanceAt(m, opt.Seed)} },
+		func(sc *scScratch, i int) (scSample, error) {
+			li, slot := i/stride, i%stride
+			level, ab := int64(levels[li].Level), arrayBytes[li]
+			var s scSample
+			for alloc := 0; alloc < opt.Allocations; alloc++ {
+				// Each allocation is a full concurrent traversal; keep
+				// cancellation at that granularity.
+				if err := ctx.Err(); err != nil {
+					return scSample{}, err
+				}
+				var avg, total float64
+				if slot == 0 {
+					avg, total = sc.measureRef(opt, level, int64(alloc), ab)
+				} else {
+					pi := slot - 1
+					avg, total = sc.measurePair(opt, level, pi, pairs[pi], int64(alloc), ab)
+				}
 				s.avg += avg
 				s.total += total
-				continue
 			}
-			pi := slot - 1
-			pa, pb := pairs[pi][0], pairs[pi][1]
-			in := memsys.NewInstanceAt(m, opt.Seed, noiseShared, level, int64(pi), int64(alloc))
-			spA, spB := in.NewSpace(), in.NewSpace()
-			arrA, arrB := spA.Alloc(ab), spB.Alloc(ab)
-			streams := []memsys.Stream{
-				{Core: pa, Space: spA, Addrs: traversalAddrs(arrA, opt.StrideBytes)},
-				{Core: pb, Space: spB, Addrs: traversalAddrs(arrB, opt.StrideBytes)},
-			}
-			st := memsys.RunConcurrent(in, streams, opt.Passes+1)
-			s.avg += (st[0].AvgCycles() + st[1].AvgCycles()) / 2
-			s.total += st[0].Cycles + st[1].Cycles
-		}
-		s.avg /= float64(opt.Allocations)
-		return s, nil
-	})
+			s.avg /= float64(opt.Allocations)
+			return s, nil
+		})
 	if err != nil {
 		return nil, err
 	}

@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 
-	"servet/internal/memsys"
 	"servet/internal/report"
 	"servet/internal/sched"
 	"servet/internal/topology"
@@ -105,7 +104,7 @@ func (s *Suite) CalibrateCores(ctx context.Context, cores ...int) ([]Calibration
 // DetectTLB runs the TLB extension probe on core 0; ok is false when
 // the machine shows no translation-miss transition.
 func (s *Suite) DetectTLB() (DetectedTLB, bool) {
-	return DetectTLB(memsys.NewInstance(s.m, s.opt.Seed), 0, s.opt)
+	return DetectTLB(s.m, 0, s.opt)
 }
 
 // Run executes the whole suite — the four paper benchmarks of

@@ -3,6 +3,7 @@ package core
 import (
 	"servet/internal/memsys"
 	"servet/internal/stats"
+	"servet/internal/topology"
 )
 
 // DetectedTLB is the result of the TLB extension probe.
@@ -23,10 +24,12 @@ type DetectedTLB struct {
 // spreads consecutive pages over different cache sets so cache
 // capacity stays out of the way), and read the entry count off the
 // first gradient jump. ok is false when no transition appears within
-// maxPages (e.g. on machines modelled without a TLB).
-func DetectTLB(in *memsys.Instance, coreID int, opt Options) (DetectedTLB, bool) {
-	opt = opt.withDefaults(in.Machine())
-	m := in.Machine()
+// maxPages (e.g. on machines modelled without a TLB). The probe owns
+// its memory-system instance and reuses one address buffer across the
+// page-count steps.
+func DetectTLB(m *topology.Machine, coreID int, opt Options) (DetectedTLB, bool) {
+	opt = opt.withDefaults(m)
+	in := memsys.NewInstance(m, opt.Seed)
 	stride := m.PageBytes + m.Caches[0].LineBytes
 
 	maxPages := 1024
@@ -39,13 +42,14 @@ func DetectTLB(in *memsys.Instance, coreID int, opt Options) (DetectedTLB, bool)
 	var pages []int
 	var cycles []float64
 	var probeCycles float64
+	var addrs []int64
 	sp := in.NewSpace()
 	for np := 4; np <= maxPages; np *= 2 {
 		in.ResetCaches()
 		arr := sp.Alloc(int64(np) * stride)
-		addrs := make([]int64, np)
-		for i := range addrs {
-			addrs[i] = arr.Base + int64(i)*stride
+		addrs = addrs[:0]
+		for i := 0; i < np; i++ {
+			addrs = append(addrs, arr.Base+int64(i)*stride)
 		}
 		var sum float64
 		in.AccessRunAccum(coreID, sp, addrs, &probeCycles, nil) // warm-up pass

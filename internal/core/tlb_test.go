@@ -4,14 +4,12 @@ import (
 	"math"
 	"testing"
 
-	"servet/internal/memsys"
 	"servet/internal/topology"
 )
 
 func TestDetectTLBOnTLBBox(t *testing.T) {
 	m := topology.TLBBox()
-	in := memsys.NewInstance(m, 1)
-	res, ok := DetectTLB(in, 0, Options{Seed: 1})
+	res, ok := DetectTLB(m, 0, Options{Seed: 1})
 	if !ok {
 		t.Fatal("no TLB transition found on the TLB machine")
 	}
@@ -25,8 +23,7 @@ func TestDetectTLBOnTLBBox(t *testing.T) {
 
 func TestDetectTLBAbsentOnPlainMachines(t *testing.T) {
 	for _, m := range []*topology.Machine{topology.Dempsey(), topology.Athlon3200()} {
-		in := memsys.NewInstance(m, 1)
-		if res, ok := DetectTLB(in, 0, Options{Seed: 1}); ok {
+		if res, ok := DetectTLB(m, 0, Options{Seed: 1}); ok {
 			t.Errorf("%s: phantom TLB detected: %+v", m.Name, res)
 		}
 	}

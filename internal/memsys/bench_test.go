@@ -131,3 +131,53 @@ func BenchmarkRunConcurrent16Streams(b *testing.B) {
 		RunConcurrent(in, streams, 3)
 	}
 }
+
+// BenchmarkResetAtPooledTraverse is one pooled mcalibrator-shaped
+// measurement on a warm instance: ResetAt, allocate, strided traversal.
+// This is the steady-state unit of every sweep after pooling and must
+// stay at 0 allocs/op.
+func BenchmarkResetAtPooledTraverse(b *testing.B) {
+	m := benchTLBMachine()
+	in := NewInstance(m, 1)
+	bytes, stride := int64(256*topology.KB), int64(1*topology.KB)
+	var total, measured float64
+	run := func(i int64) {
+		in.ResetAt(1, i)
+		sp := in.NewSpace()
+		a := sp.Alloc(bytes)
+		in.AccessStrideAccum(0, sp, a.Base, a.Bytes, stride, &total, &measured)
+	}
+	run(0) // warm the pool to steady-state capacity
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run(int64(i))
+	}
+}
+
+// BenchmarkRunConcurrentPooled16Streams is the pooled counterpart of
+// BenchmarkRunConcurrent16Streams: same workload on one reused
+// instance via ResetAt + RunConcurrentInto with caller-owned buffers.
+func BenchmarkRunConcurrentPooled16Streams(b *testing.B) {
+	m := topology.Dunnington()
+	in := NewInstance(m, 1)
+	stats := make([]StreamStats, 16)
+	addrs := make([][]int64, 16)
+	streams := make([]Stream, 16)
+	run := func() {
+		in.ResetAt(1)
+		for c := range streams {
+			sp := in.NewSpace()
+			a := sp.Alloc(64 * topology.KB)
+			addrs[c] = appendStrided(addrs[c][:0], a, 1*topology.KB)
+			streams[c] = Stream{Core: c, Space: sp, Addrs: addrs[c]}
+		}
+		RunConcurrentInto(in, streams, 3, stats)
+	}
+	run() // warm the pool to steady-state capacity
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
+	}
+}

@@ -51,6 +51,12 @@ type Instance struct {
 	memLat    float64
 	tlbMiss   float64
 	spaceSeq  int64
+	// spaces pools every Space ever created, in creation order. ResetAt
+	// rewinds spaceSeq and recycles them; NewSpace then hands the pooled
+	// spaces out again before allocating new ones.
+	spaces []*Space
+	// rc is RunConcurrent's reusable interleaver scratch.
+	rc runScratch
 }
 
 // placementDomain separates the page-placement hash from every other
@@ -103,8 +109,7 @@ func NewInstanceAt(m *topology.Machine, seed int64, keys ...int64) *Instance {
 			}
 		}
 	}
-	placement := int64(stats.MixKeys(append([]int64{placementDomain, seed}, keys...)...))
-	in.os = newOSAllocator(placement, m.PhysPagesPerNode, m.PageColoring, colorCount(m))
+	in.os = newOSAllocator(placementSeed(seed, keys), m.PhysPagesPerNode, m.PageColoring, colorCount(m))
 	in.pref = make([]*prefetcher, m.CoresPerNode)
 	in.tlbs = make([]*tlb, m.CoresPerNode)
 	in.xlat = make([]xlatEntry, m.CoresPerNode)
@@ -113,6 +118,39 @@ func NewInstanceAt(m *topology.Machine, seed int64, keys ...int64) *Instance {
 		in.tlbs[i] = newTLB(m.TLBEntries)
 	}
 	return in
+}
+
+// placementSeed derives the page-placement seed from (seed, keys...)
+// — the same fold as stats.MixKeys(placementDomain, seed, keys...),
+// written incrementally so ResetAt's hot path never materializes the
+// combined key slice.
+func placementSeed(seed int64, keys []int64) int64 {
+	h := stats.Mix64(uint64(placementDomain))
+	h = stats.Mix64(h ^ uint64(seed))
+	for _, k := range keys {
+		h = stats.Mix64(h ^ uint64(k))
+	}
+	return int64(h)
+}
+
+// ResetAt returns the instance to the state NewInstanceAt(m, seed,
+// keys...) would build — reseeded page placement, empty caches, TLBs,
+// prefetchers, translation caches, page tables and frame bitset —
+// while retaining every backing capacity. The hard invariant: a reset
+// instance is bitwise-equivalent to a freshly built one, reproducing
+// identical access traces, translations and RunConcurrent statistics.
+// Every Space and Array handed out before the reset is invalidated;
+// NewSpace recycles them in creation order. In steady state (once the
+// instance has served a measurement of each shape) a full reset-and-
+// measure cycle allocates nothing.
+func (in *Instance) ResetAt(seed int64, keys ...int64) {
+	in.ResetCaches()
+	clear(in.xlat)
+	in.os.reset(placementSeed(seed, keys))
+	for _, sp := range in.spaces {
+		sp.recycle()
+	}
+	in.spaceSeq = 0
 }
 
 // colorCount derives the OS page-coloring modulus from the largest
@@ -140,12 +178,24 @@ func (in *Instance) Machine() *topology.Machine { return in.m }
 // the space's sequence number keys its page placement: the k-th space
 // of any instance with the same placement seed draws the same frames.
 func (in *Instance) NewSpace() *Space {
+	idx := int(in.spaceSeq)
 	in.spaceSeq++
-	return &Space{
+	// After a ResetAt the pool holds recycled spaces; the k-th NewSpace
+	// call always yields the same id, so placement — keyed by (seed,
+	// id, vpage) — is identical whether the space is pooled or fresh.
+	if idx < len(in.spaces) {
+		sp := in.spaces[idx]
+		sp.id = in.spaceSeq
+		sp.nextV = in.spaceSeq << 44
+		return sp
+	}
+	sp := &Space{
 		in:    in,
 		id:    in.spaceSeq,
 		nextV: in.spaceSeq << 44,
 	}
+	in.spaces = append(in.spaces, sp)
+	return sp
 }
 
 // planFor returns the core's access plan.
@@ -406,6 +456,37 @@ func (h *streamHeap) pop() {
 	h.fix()
 }
 
+// streamState is one stream's interleaver cursor.
+type streamState struct {
+	pos  int
+	pass int
+}
+
+// runScratch holds RunConcurrent's per-call buffers — stream cursors,
+// local clocks and the heap's index slab — pooled on the Instance so a
+// reset-and-measure cycle reruns concurrent streams without
+// allocating.
+type runScratch struct {
+	st     []streamState
+	clocks []float64
+	idx    []int32
+}
+
+// grab returns the scratch sized for ns streams, growing the slabs
+// only when a wider run arrives.
+func (rc *runScratch) grab(ns int) ([]streamState, []float64, []int32) {
+	if cap(rc.st) < ns {
+		rc.st = make([]streamState, ns)
+		rc.clocks = make([]float64, ns)
+		rc.idx = make([]int32, 0, ns)
+	}
+	st := rc.st[:ns]
+	clear(st)
+	clocks := rc.clocks[:ns]
+	clear(clocks)
+	return st, clocks, rc.idx[:0]
+}
+
 // RunConcurrent interleaves the streams in virtual-time order: at each
 // step the stream with the smallest local clock issues its next
 // access (ties break by core id). Each stream performs `passes`
@@ -421,18 +502,28 @@ func (h *streamHeap) pop() {
 // AccessRun path.
 func RunConcurrent(in *Instance, streams []Stream, passes int) []StreamStats {
 	stats := make([]StreamStats, len(streams))
+	RunConcurrentInto(in, streams, passes, stats)
+	return stats
+}
+
+// RunConcurrentInto is RunConcurrent writing into a caller-owned stats
+// buffer (len(stats) must equal len(streams)); the interleaver's own
+// buffers are pooled on the instance, so a warm caller pays zero
+// allocations per run. The statistics are bit-identical to
+// RunConcurrent's.
+func RunConcurrentInto(in *Instance, streams []Stream, passes int, stats []StreamStats) {
+	if len(stats) != len(streams) {
+		panic(fmt.Sprintf("memsys: stats buffer for %d streams has length %d", len(streams), len(stats)))
+	}
+	clear(stats)
 	if passes < 2 {
 		passes = 2
 	}
-	type state struct {
-		pos  int
-		pass int
-	}
-	st := make([]state, len(streams))
-	h := &streamHeap{
-		idx:    make([]int32, 0, len(streams)),
-		clocks: make([]float64, len(streams)),
-	}
+	// The heap's index slab never outgrows its capacity (at most one
+	// push per stream), so handing the pooled slab to the heap is safe:
+	// rc.idx keeps sharing the backing array for the next run.
+	st, clocks, idx := in.rc.grab(len(streams))
+	h := &streamHeap{idx: idx, clocks: clocks}
 	for i := range streams {
 		if len(streams[i].Addrs) > 0 {
 			h.push(int32(i))
@@ -477,5 +568,4 @@ func RunConcurrent(in *Instance, streams []Stream, passes int) []StreamStats {
 			s.pass++
 		}
 	}
-	return stats
 }

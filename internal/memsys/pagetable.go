@@ -44,6 +44,16 @@ func newOSAllocator(seed int64, physPages int64, coloring bool, colors int64) *o
 	}
 }
 
+// reset returns every frame to the pool and reseeds the placement
+// chains: afterwards the allocator behaves exactly like
+// newOSAllocator(seed, ...), except that the lazily-built frame bitset
+// keeps its capacity (a flat memclr instead of a reallocation).
+func (o *osAllocator) reset(seed int64) {
+	o.seed = seed
+	clear(o.used)
+	o.inUse = 0
+}
+
 func (o *osAllocator) isUsed(p int64) bool {
 	return o.used[p>>6]&(1<<uint(p&63)) != 0
 }
@@ -126,6 +136,23 @@ type Space struct {
 	last    int   // region index hit by the most recent lookup
 	gen     int64 // bumped on Free; invalidates per-core translation caches
 	nextV   int64
+	// arrays pools the *Array headers handed out by Alloc; arrSeq is
+	// the next pooled slot. recycle rewinds arrSeq so a reset instance
+	// reuses the headers instead of allocating fresh ones.
+	arrays []*Array
+	arrSeq int
+}
+
+// recycle returns the space to its just-created state while keeping
+// every backing capacity — the region list, the per-region frame
+// slices, and the Array headers — so the next measurement cycle maps
+// its pages without allocating. The caller (Instance.ResetAt via
+// NewSpace) reassigns id and nextV.
+func (sp *Space) recycle() {
+	sp.regions = sp.regions[:0]
+	sp.last = 0
+	sp.gen = 0
+	sp.arrSeq = 0
 }
 
 // Array is a page-aligned allocation inside a Space.
@@ -149,14 +176,40 @@ func (sp *Space) Alloc(bytes int64) *Array {
 	base := sp.nextV
 	first := base >> in.pageShift
 	npages := (bytes + in.pageMask) >> in.pageShift
-	ppages := make([]int64, npages)
-	for i := range ppages {
-		ppages[i] = in.os.allocPage(sp.id, first+int64(i))
+	// Reuse a pooled region slot (and its frame slice) when one sits
+	// between the list's length and capacity — recycle and Free park
+	// them there — so a steady-state allocation is pure page mapping.
+	var r *pageRegion
+	if n := len(sp.regions); n < cap(sp.regions) {
+		sp.regions = sp.regions[:n+1]
+		r = &sp.regions[n]
+	} else {
+		sp.regions = append(sp.regions, pageRegion{})
+		r = &sp.regions[len(sp.regions)-1]
 	}
-	sp.regions = append(sp.regions, pageRegion{first: first, ppages: ppages})
+	r.first = first
+	if int64(cap(r.ppages)) >= npages {
+		r.ppages = r.ppages[:npages]
+	} else {
+		r.ppages = make([]int64, npages)
+	}
+	for i := range r.ppages {
+		r.ppages[i] = in.os.allocPage(sp.id, first+int64(i))
+	}
 	// Leave a guard page between allocations.
 	sp.nextV = base + (npages+1)*in.m.PageBytes
-	return &Array{sp: sp, Base: base, Bytes: bytes}
+	var a *Array
+	if sp.arrSeq < len(sp.arrays) {
+		a = sp.arrays[sp.arrSeq]
+	} else {
+		a = &Array{}
+		sp.arrays = append(sp.arrays, a)
+	}
+	sp.arrSeq++
+	a.sp = sp
+	a.Base = base
+	a.Bytes = bytes
+	return a
 }
 
 // Free unmaps the array and returns its frames to the OS. Unmapping
@@ -175,10 +228,18 @@ func (sp *Space) Free(a *Array) {
 	if ri < 0 || sp.regions[ri].first != first || int64(len(sp.regions[ri].ppages)) != npages {
 		panic("memsys: double free")
 	}
-	for _, p := range sp.regions[ri].ppages {
+	freed := sp.regions[ri].ppages
+	for _, p := range freed {
 		in.os.freePage(p)
 	}
-	sp.regions = append(sp.regions[:ri], sp.regions[ri+1:]...)
+	// Shift the tail left and park the freed frame slice in the vacated
+	// last slot: a naive append-splice would leave that slot aliasing a
+	// live region's frames, which slot reuse in Alloc would then
+	// corrupt.
+	n := len(sp.regions) - 1
+	copy(sp.regions[ri:], sp.regions[ri+1:])
+	sp.regions[n] = pageRegion{ppages: freed[:0]}
+	sp.regions = sp.regions[:n]
 	sp.last = 0
 	sp.gen++ // drop every per-core cached translation of this space
 	for _, t := range in.tlbs {

@@ -254,19 +254,56 @@ func Tune(ctx context.Context, r *report.Report, sp Space, obj Objective, opt Op
 // evalBatch scores the batch's points concurrently, sharded into
 // proposal-ordered chunks over the scheduler (the sweep discipline of
 // internal/core: plan, measure into disjoint slots, merge in order).
+// Objectives implementing scratchEvaluator evaluate against pooled
+// per-worker scratch (a free list bounds live scratches to the peak
+// number of concurrently running chunks); scores are bit-identical
+// either way, so the pooling never shows in the result.
 func evalBatch(ctx context.Context, r *report.Report, sp *Space, obj Objective, pts []Point, parallelism int) ([]float64, error) {
 	scores := make([]float64, len(pts))
-	var tasks []sched.Task
-	for ci, ch := range chunkRanges(len(pts), parallelism) {
+	ranges := chunkRanges(len(pts), parallelism)
+	se, pooled := obj.(scratchEvaluator)
+	var pool chan any
+	if pooled {
+		pool = make(chan any, len(ranges))
+	}
+	tasks := make([]sched.Task, 0, len(ranges))
+	for ci, ch := range ranges {
 		start, end := ch[0], ch[1]
 		tasks = append(tasks, sched.Task{
 			Name: fmt.Sprintf("tune:%d", ci),
 			Run: func(ctx context.Context) error {
+				var scratch any
+				if pooled {
+					defer func() {
+						if scratch != nil {
+							pool <- scratch
+						}
+					}()
+				}
 				for i := start; i < end; i++ {
 					if err := ctx.Err(); err != nil {
 						return err
 					}
-					s, err := obj.Eval(ctx, r, sp, sp.Materialize(pts[i]))
+					var s float64
+					var err error
+					if pooled {
+						// Lazy scratch creation keeps a scratch-build failure
+						// (e.g. an unknown machine model) attributed to the
+						// point being evaluated, with the same wrapped error
+						// text the unpooled Eval path reports.
+						if scratch == nil {
+							select {
+							case scratch = <-pool:
+							default:
+								scratch, err = se.newScratch(r)
+							}
+						}
+						if err == nil {
+							s, err = se.evalScratch(ctx, r, sp, sp.Materialize(pts[i]), scratch)
+						}
+					} else {
+						s, err = obj.Eval(ctx, r, sp, sp.Materialize(pts[i]))
+					}
 					if err != nil {
 						return fmt.Errorf("tune: objective %s on [%s]: %w", obj.Name(), sp.Describe(sp.Materialize(pts[i])), err)
 					}

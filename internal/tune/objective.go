@@ -27,6 +27,22 @@ type Objective interface {
 	Eval(ctx context.Context, r *report.Report, sp *Space, cfg Config) (float64, error)
 }
 
+// scratchEvaluator is implemented by objectives whose evaluations can
+// reuse expensive per-worker state — a pooled memory-system instance,
+// reset in place per candidate. The engine builds one scratch per
+// concurrently running chunk and routes evaluations through
+// evalScratch; its scores must be bit-identical to Eval's (for pooled
+// instances, ResetAt's bitwise-equivalence contract guarantees it),
+// so results stay byte-identical at any parallelism whether or not
+// the engine pools.
+type scratchEvaluator interface {
+	Objective
+	// newScratch builds one worker's reusable state for the report.
+	newScratch(r *report.Report) (any, error)
+	// evalScratch is Eval against the pooled scratch.
+	evalScratch(ctx context.Context, r *report.Report, sp *Space, cfg Config, scratch any) (float64, error)
+}
+
 // Func adapts a plain function into an Objective (for Go callers and
 // tests; wire requests use the registry instead).
 func Func(name string, fn func(ctx context.Context, r *report.Report, sp *Space, cfg Config) (float64, error)) Objective {
@@ -393,11 +409,42 @@ func newTiledKernel(params json.RawMessage) (Objective, error) {
 
 func (o *tiledKernel) Name() string { return ObjectiveTiledKernel }
 
+// tiledScratch is one tune worker's pooled kernel state: the machine
+// model (resolved once instead of per evaluation) and a reusable
+// memory-system instance.
+type tiledScratch struct {
+	m  *topology.Machine
+	in *memsys.Instance
+}
+
+func (o *tiledKernel) newScratch(r *report.Report) (any, error) {
+	m, err := machineFor(r)
+	if err != nil {
+		return nil, err
+	}
+	return &tiledScratch{m: m, in: memsys.NewInstance(m, o.Seed)}, nil
+}
+
+func (o *tiledKernel) evalScratch(ctx context.Context, r *report.Report, sp *Space, cfg Config, scratch any) (float64, error) {
+	sc := scratch.(*tiledScratch)
+	// ResetAt(o.Seed) is bitwise-equivalent to NewInstance(m, o.Seed):
+	// a configuration's score never depends on what other
+	// configurations were evaluated before (or concurrently with) it.
+	sc.in.ResetAt(o.Seed)
+	return o.run(ctx, sc.in, sp, cfg)
+}
+
 func (o *tiledKernel) Eval(ctx context.Context, r *report.Report, sp *Space, cfg Config) (float64, error) {
 	m, err := machineFor(r)
 	if err != nil {
 		return 0, err
 	}
+	// Every evaluation builds its own instance from the same seed, so
+	// scores match the pooled evalScratch path bit for bit.
+	return o.run(ctx, memsys.NewInstance(m, o.Seed), sp, cfg)
+}
+
+func (o *tiledKernel) run(ctx context.Context, in *memsys.Instance, sp *Space, cfg Config) (float64, error) {
 	tile64, err := sp.Int(cfg, "tile")
 	if err != nil {
 		return 0, err
@@ -410,10 +457,6 @@ func (o *tiledKernel) Eval(ctx context.Context, r *report.Report, sp *Space, cfg
 	if tile > n {
 		tile = n
 	}
-	// Every evaluation builds its own instance from the same seed, so
-	// a configuration's score never depends on what other
-	// configurations were evaluated before (or concurrently with) it.
-	in := memsys.NewInstance(m, o.Seed)
 	spc := in.NewSpace()
 	src := spc.Alloc(int64(n) * int64(n) * o.ElemBytes).Base
 	dst := spc.Alloc(int64(n) * int64(n) * o.ElemBytes).Base

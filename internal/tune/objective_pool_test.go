@@ -1,0 +1,83 @@
+package tune
+
+import (
+	"context"
+	"encoding/json"
+	"runtime"
+	"testing"
+)
+
+// Tests pinning the pooled tiled-kernel evaluation path: evalScratch
+// against a reused instance must score bit-identically to the
+// fresh-instance Eval, and the full Tune result must stay
+// byte-identical at any parallelism.
+
+func tiledObjective(t *testing.T) Objective {
+	t.Helper()
+	obj, err := NewObjective(ObjectiveSpec{
+		Name:   ObjectiveTiledKernel,
+		Params: json.RawMessage(`{"n": 64}`),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return obj
+}
+
+// TestTiledKernelScratchMatchesEval: the pooled path reuses one
+// scratch across many configurations (dirty between evaluations) and
+// must reproduce the fresh-instance scores bit for bit.
+func TestTiledKernelScratchMatchesEval(t *testing.T) {
+	obj := tiledObjective(t)
+	se, ok := obj.(scratchEvaluator)
+	if !ok {
+		t.Fatal("tiled-kernel does not implement scratchEvaluator")
+	}
+	r := testReport()
+	sp := Space{Axes: []Axis{Pow2("tile", 4, 32)}}
+	scratch, err := se.newScratch(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, tile := range []int64{4, 32, 8, 16, 8} {
+		cfg := Config{{Int: tile}}
+		want, err := obj.Eval(ctx, r, &sp, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := se.evalScratch(ctx, r, &sp, cfg, scratch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("tile %d: pooled score %v, fresh score %v", tile, got, want)
+		}
+	}
+}
+
+// TestTiledKernelTuneParallelismParity: the full pooled tune is
+// byte-identical at parallelism 1, 2, 4 and NumCPU.
+func TestTiledKernelTuneParallelismParity(t *testing.T) {
+	obj := tiledObjective(t)
+	sp := Space{Axes: []Axis{Pow2("tile", 4, 64)}}
+	var want string
+	for _, par := range []int{1, 2, 4, runtime.NumCPU()} {
+		res, err := Tune(context.Background(), testReport(), sp, obj, Options{
+			Strategy: "grid", Parallelism: par,
+		})
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		res.Provenance = Provenance{}
+		b, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == "" {
+			want = string(b)
+		} else if string(b) != want {
+			t.Fatalf("parallelism %d diverged:\n got: %s\nwant: %s", par, b, want)
+		}
+	}
+}
