@@ -44,6 +44,7 @@ import (
 	"strings"
 
 	"servet"
+	"servet/internal/obs"
 	"servet/internal/regproto"
 	"servet/internal/tune"
 )
@@ -127,6 +128,7 @@ func main() {
 		asJSON    = flag.Bool("json", false, "print the full result JSON instead of the summary")
 		listObjs  = flag.Bool("list-objectives", false, "list objective names and exit")
 		trace     = flag.Bool("trace", false, "print every evaluation, not just the best")
+		traceOut  = flag.String("trace-out", "", "write a Chrome trace-event JSON of the local search to this path (incompatible with -url: remote searches run server-side)")
 	)
 	flag.Var(&axes, "axis", "axis spec name=kind:... (repeatable; kinds: range:min:max[:step], pow2:min:max, choice:a,b,...)")
 	flag.Parse()
@@ -157,6 +159,17 @@ func main() {
 		}
 	}
 
+	if *traceOut != "" && *url != "" {
+		fmt.Fprintln(os.Stderr, "servet-tune: -trace-out needs a local search, but -url runs it server-side: drop one of the two")
+		os.Exit(2)
+	}
+	// Tracing observes the search without perturbing it: results are
+	// byte-identical with tracing on or off.
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.New()
+	}
+
 	var res *servet.TuneResult
 	var err error
 	if *url != "" {
@@ -169,7 +182,7 @@ func main() {
 			Strategy: *strategy, Seed: *tuneSeed, Budget: *budget,
 		})
 	} else {
-		res, err = tuneLocal(space, spec, tune.Options{
+		res, err = tuneLocal(obs.WithTracer(context.Background(), tracer), space, spec, tune.Options{
 			Strategy: *strategy, Seed: *tuneSeed, Budget: *budget, Parallelism: *parallel,
 		}, localRun{
 			reportPath: *reportIn, machine: *machine, nodes: *nodes,
@@ -180,6 +193,12 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "servet-tune: %v\n", err)
 		os.Exit(1)
+	}
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut, tracer); err != nil {
+			fmt.Fprintf(os.Stderr, "servet-tune: -trace-out: %v\n", err)
+			os.Exit(1)
+		}
 	}
 
 	if *out != "" {
@@ -219,9 +238,23 @@ type localRun struct {
 	parallel   int
 }
 
+// writeTrace saves the tracer's spans as a Chrome trace-event file.
+func writeTrace(path string, tr *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 // tuneLocal resolves a report (file or fresh probe run) and searches
-// locally.
-func tuneLocal(space servet.TuneSpace, spec servet.ObjectiveSpec, opt tune.Options, run localRun) (*servet.TuneResult, error) {
+// locally; the context's tracer (if any) records both the probe run
+// and the search.
+func tuneLocal(ctx context.Context, space servet.TuneSpace, spec servet.ObjectiveSpec, opt tune.Options, run localRun) (*servet.TuneResult, error) {
 	obj, err := servet.NewObjective(spec)
 	if err != nil {
 		return nil, err
@@ -249,12 +282,12 @@ func tuneLocal(space servet.TuneSpace, spec servet.ObjectiveSpec, opt tune.Optio
 		if err != nil {
 			return nil, err
 		}
-		rep, err = ses.Run(context.Background(), run.probes...)
+		rep, err = ses.Run(ctx, run.probes...)
 		if err != nil {
 			return nil, err
 		}
 	}
-	return servet.Tune(context.Background(), rep, space, obj,
+	return servet.Tune(ctx, rep, space, obj,
 		servet.TuneStrategy(opt.Strategy), servet.TuneSeed(opt.Seed),
 		servet.TuneBudget(opt.Budget), servet.TuneParallelism(opt.Parallelism))
 }

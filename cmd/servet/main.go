@@ -17,6 +17,7 @@
 //	servet -machine dunnington -cache-url http://head-node:8077
 //	servet -machine finisterrae -nodes 2 -seed 3 -noise 0.01
 //	servet -machine dunnington -probes cache-size,tlb -parallel 4
+//	servet -machine dunnington -trace trace.json -trace-summary
 package main
 
 import (
@@ -32,6 +33,7 @@ import (
 	"time"
 
 	"servet"
+	"servet/internal/obs"
 )
 
 func main() {
@@ -50,6 +52,8 @@ func main() {
 		listProbes = flag.Bool("list-probes", false, "list probe names and exit")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this path (pprof format)")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this path on exit (pprof format)")
+		traceOut   = flag.String("trace", "", "write a Chrome trace-event JSON of the run to this path (open in Perfetto or chrome://tracing)")
+		traceSum   = flag.Bool("trace-summary", false, "print a per-span/per-counter summary of the run (implies tracing)")
 	)
 	flag.Parse()
 
@@ -129,12 +133,30 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	// Tracing observes the run without perturbing it: reports are
+	// byte-identical with tracing on or off (a nil tracer means every
+	// recording call below the session is a no-op).
+	var tracer *obs.Tracer
+	if *traceOut != "" || *traceSum {
+		tracer = obs.New()
+		ctx = obs.WithTracer(ctx, tracer)
+	}
 	rep, err := ses.Run(ctx, names...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "servet: %v\n", err)
 		exit(1)
 	}
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut, tracer); err != nil {
+			fmt.Fprintf(os.Stderr, "servet: -trace: %v\n", err)
+			exit(1)
+		}
+	}
 	fmt.Print(rep.Summary())
+	if *traceSum {
+		fmt.Println("\nTrace summary:")
+		fmt.Print(tracer.Summary())
+	}
 	if len(rep.Provenance) > 0 {
 		// Per-probe wall-clock costs from the provenance records: a
 		// "cached" row reports the cost of the run that measured it, so
@@ -162,6 +184,22 @@ func main() {
 		}
 		fmt.Printf("\nreport written to %s\n", *out)
 	}
+	if *traceOut != "" {
+		fmt.Printf("\ntrace written to %s\n", *traceOut)
+	}
+}
+
+// writeTrace saves the tracer's spans as a Chrome trace-event file.
+func writeTrace(path string, tr *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // startProfiles starts the requested pprof profiles and returns an

@@ -205,6 +205,10 @@ var EnginePaths = map[string]bool{
 	"servet/internal/autotune": true,
 	"servet/internal/tune":    true,
 	"servet/internal/sched":   true,
+	// obs is the tracing layer the engine packages call into; its
+	// wall-clock reads (span timestamps) are annotated provenance, and
+	// nothing a report is computed from may depend on them.
+	"servet/internal/obs": true,
 }
 
 // IsEnginePath reports whether the package path is bound to the

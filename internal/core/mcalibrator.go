@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"servet/internal/memsys"
+	"servet/internal/obs"
 	"servet/internal/topology"
 )
 
@@ -77,10 +78,20 @@ func Mcalibrator(m *topology.Machine, core int, opt Options) Calibration {
 func McalibratorContext(ctx context.Context, m *topology.Machine, core int, opt Options) (Calibration, error) {
 	opt = opt.withDefaults(m)
 	sizes := SizeGrid(opt.MinCacheBytes, opt.MaxCacheBytes)
+	// The tracer (nil when untraced) counts pooled-instance traffic:
+	// fresh builds per worker vs in-place resets per measurement.
+	tr := obs.FromContext(ctx)
 	samples, err := sweepScratch(ctx, "mcal", len(sizes), opt.Parallelism,
-		func() *memsys.Instance { return memsys.NewInstanceAt(m, opt.Seed) },
+		func() *memsys.Instance {
+			tr.Count(obs.CounterMemsysFresh, 1)
+			return memsys.NewInstanceAt(m, opt.Seed)
+		},
 		func(in *memsys.Instance, i int) (mcalSample, error) {
-			return measureMcalSize(ctx, in, core, opt, i, sizes[i])
+			s, err := measureMcalSize(ctx, in, core, opt, i, sizes[i])
+			if err == nil {
+				tr.Count(obs.CounterMemsysReset, int64(opt.Allocations))
+			}
+			return s, err
 		})
 	if err != nil {
 		return Calibration{}, err

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"servet/internal/obs"
 	"servet/internal/sched"
 )
 
@@ -105,6 +106,11 @@ func sweepScratch[T, S any](ctx context.Context, name string, n, parallelism int
 	}
 	out := make([]T, n)
 	ranges := chunkRanges(n, parallelism)
+	// Chunk spans and scratch-pooling counters record into the
+	// context's tracer (nil when untraced): one "sweep" span per chunk
+	// named after the sweep, so per-sweep totals aggregate in the
+	// summary while the trace shows chunk scheduling across workers.
+	tr := obs.FromContext(ctx)
 	// Free list of idle scratches: a chunk grabs one (or builds its
 	// own when none is idle) and returns it when done, so the number of
 	// live scratches is bounded by the peak number of concurrently
@@ -116,11 +122,15 @@ func sweepScratch[T, S any](ctx context.Context, name string, n, parallelism int
 		tasks = append(tasks, sched.Task{
 			Name: fmt.Sprintf("%s:%d", name, ci),
 			Run: func(ctx context.Context) error {
+				sp := tr.Start("sweep", name)
+				defer sp.End()
 				var scratch S
 				select {
 				case scratch = <-pool:
+					tr.Count(obs.CounterScratchReused, 1)
 				default:
 					scratch = newScratch()
+					tr.Count(obs.CounterScratchFresh, 1)
 				}
 				defer func() { pool <- scratch }()
 				for i := start; i < end; i++ {
@@ -133,6 +143,7 @@ func sweepScratch[T, S any](ctx context.Context, name string, n, parallelism int
 					}
 					out[i] = v
 				}
+				tr.Count(obs.CounterSweepMeasurements, int64(end-start))
 				return nil
 			},
 		})

@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"servet/internal/memsys"
+	"servet/internal/obs"
 	"servet/internal/stats"
 	"servet/internal/topology"
 )
@@ -163,8 +164,14 @@ func SharedCachePairsContext(ctx context.Context, m *topology.Machine, levels []
 	// one mapping is one sample, exactly as in mcalibrator — each built
 	// as its own instance keyed by (Seed, family, level, pair, alloc).
 	stride := 1 + len(pairs)
+	// The tracer (nil when untraced) counts pooled-instance traffic:
+	// fresh builds per worker vs in-place resets per placement.
+	tr := obs.FromContext(ctx)
 	samples, err := sweepScratch(ctx, "shared", len(levels)*stride, opt.Parallelism,
-		func() *scScratch { return &scScratch{in: memsys.NewInstanceAt(m, opt.Seed)} },
+		func() *scScratch {
+			tr.Count(obs.CounterMemsysFresh, 1)
+			return &scScratch{in: memsys.NewInstanceAt(m, opt.Seed)}
+		},
 		func(sc *scScratch, i int) (scSample, error) {
 			li, slot := i/stride, i%stride
 			level, ab := int64(levels[li].Level), arrayBytes[li]
@@ -175,6 +182,7 @@ func SharedCachePairsContext(ctx context.Context, m *topology.Machine, levels []
 				if err := ctx.Err(); err != nil {
 					return scSample{}, err
 				}
+				tr.Count(obs.CounterMemsysReset, 1)
 				var avg, total float64
 				if slot == 0 {
 					avg, total = sc.measureRef(opt, level, int64(alloc), ab)

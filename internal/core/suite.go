@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"servet/internal/obs"
 	"servet/internal/report"
 	"servet/internal/sched"
 	"servet/internal/topology"
@@ -152,6 +153,11 @@ func (s *Suite) RunSeeded(ctx context.Context, seeded map[string]Partial, names 
 		}
 	}
 
+	// Probe spans record into the context's tracer (nil when the run
+	// is untraced): one "probe" span per executed probe, so a trace
+	// shows which stages dominated the run.
+	tr := obs.FromContext(ctx)
+
 	var tasks []sched.Task
 	taskIdx := make(map[string]int, len(runs))
 	for _, p := range probes {
@@ -172,7 +178,9 @@ func (s *Suite) RunSeeded(ctx context.Context, seeded map[string]Partial, names 
 			Name: p.Name(),
 			Deps: deps,
 			Run: func(ctx context.Context) error {
+				sp := tr.Start("probe", p.Name())
 				part, err := p.Run(ctx, env)
+				sp.End()
 				if err != nil {
 					return err
 				}

@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start("probe", "cache-size")
+	sp.End()
+	tr.Count(CounterCacheHit, 1)
+	if got := tr.Counter(CounterCacheHit); got != 0 {
+		t.Errorf("nil tracer counter = %d, want 0", got)
+	}
+	if tr.Spans() != nil || tr.Counters() != nil || tr.SpanCounts() != nil {
+		t.Error("nil tracer returned non-nil data")
+	}
+	if got := tr.Summary(); got != "tracing disabled\n" {
+		t.Errorf("nil tracer summary = %q", got)
+	}
+}
+
+// TestNilTracerAllocationFree pins the disabled path's cost: the
+// instrumented hot loops (sweep measurements, pooled resets) call
+// these unconditionally, so with no tracer attached they must not
+// allocate — the BENCH_9 0 allocs/op gate depends on it.
+func TestNilTracerAllocationFree(t *testing.T) {
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(1000, func() {
+		tr := FromContext(ctx)
+		sp := tr.Start("sweep", "mcal")
+		tr.Count(CounterMemsysReset, 1)
+		tr.Count(CounterSweepMeasurements, 4)
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Errorf("nil-tracer hot path allocates %v per run, want 0", allocs)
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	if got := FromContext(context.Background()); got != nil {
+		t.Fatalf("background context tracer = %v, want nil", got)
+	}
+	tr := New()
+	ctx := WithTracer(context.Background(), tr)
+	if got := FromContext(ctx); got != tr {
+		t.Fatalf("FromContext = %p, want %p", got, tr)
+	}
+	if got := WithTracer(context.Background(), nil); got != context.Background() {
+		t.Error("WithTracer(nil) should return ctx unchanged")
+	}
+}
+
+func TestSpansAndCounters(t *testing.T) {
+	tr := New()
+	for i := 0; i < 3; i++ {
+		sp := tr.Start("probe", "cache-size")
+		sp.End()
+	}
+	sp := tr.Start("sweep", "mcal")
+	sp.End()
+	tr.Count(CounterMemsysFresh, 1)
+	tr.Count(CounterMemsysReset, 5)
+	tr.Count(CounterMemsysReset, 2)
+
+	counts := tr.SpanCounts()
+	if counts["probe/cache-size"] != 3 || counts["sweep/mcal"] != 1 {
+		t.Errorf("span counts = %v", counts)
+	}
+	if got := tr.Counter(CounterMemsysReset); got != 7 {
+		t.Errorf("reset counter = %d, want 7", got)
+	}
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("got %d spans, want 4", len(spans))
+	}
+	for _, s := range spans {
+		if s.Dur < 0 || s.Start < 0 {
+			t.Errorf("span %+v has negative time", s)
+		}
+		if s.Lane != 0 {
+			t.Errorf("sequential span on lane %d, want 0", s.Lane)
+		}
+	}
+}
+
+// TestLaneAssignment pins the track model: concurrent spans of one
+// category occupy distinct lanes; finished lanes are reused.
+func TestLaneAssignment(t *testing.T) {
+	tr := New()
+	a := tr.Start("sched", "a")
+	b := tr.Start("sched", "b")
+	other := tr.Start("probe", "p") // categories have independent lanes
+	b.End()
+	c := tr.Start("sched", "c") // reuses b's lane
+	a.End()
+	c.End()
+	other.End()
+
+	lanes := make(map[string]int)
+	for _, s := range tr.Spans() {
+		lanes[s.Name] = s.Lane
+	}
+	if lanes["a"] != 0 || lanes["b"] != 1 || lanes["c"] != 1 || lanes["p"] != 0 {
+		t.Errorf("lanes = %v, want a:0 b:1 c:1 p:0", lanes)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	tr := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				sp := tr.Start("sweep", "shared")
+				tr.Count(CounterSweepMeasurements, 1)
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := tr.Counter(CounterSweepMeasurements); got != 800 {
+		t.Errorf("counter = %d, want 800", got)
+	}
+	if got := tr.SpanCounts()["sweep/shared"]; got != 800 {
+		t.Errorf("spans = %d, want 800", got)
+	}
+}
+
+// TestSummaryDeterministic pins the summary's shape: sections sorted
+// by name, counts exact, identical across renders.
+func TestSummaryDeterministic(t *testing.T) {
+	tr := New()
+	tr.Start("sweep", "mcal").End()
+	tr.Start("probe", "tlb").End()
+	tr.Start("probe", "cache-size").End()
+	tr.Count(CounterMemsysReset, 3)
+	tr.Count(CounterCacheMiss, 1)
+
+	sum := tr.Summary()
+	for _, want := range []string{"probe/cache-size", "probe/tlb", "sweep/mcal", CounterMemsysReset, CounterCacheMiss, "n=1"} {
+		if !strings.Contains(sum, want) {
+			t.Errorf("summary missing %q:\n%s", want, sum)
+		}
+	}
+	// Sorted: probe/cache-size before probe/tlb before sweep/mcal,
+	// cache.lookup.miss before memsys.instance.reset.
+	order := []string{"probe/cache-size", "probe/tlb", "sweep/mcal", CounterCacheMiss, CounterMemsysReset}
+	last := -1
+	for _, name := range order {
+		at := strings.Index(sum, name)
+		if at < last {
+			t.Fatalf("summary out of order at %q:\n%s", name, sum)
+		}
+		last = at
+	}
+	if sum != tr.Summary() {
+		t.Error("summary not stable across renders")
+	}
+}

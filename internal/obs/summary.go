@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Summary renders the trace as text: per-span totals aggregated by
+// "cat/name" and every counter, each section sorted by name. The
+// ordering and the counts are deterministic for a deterministic
+// workload (durations are wall-clock and are not); tests assert
+// against the names and counts.
+func (t *Tracer) Summary() string {
+	if t == nil {
+		return "tracing disabled\n"
+	}
+	type agg struct {
+		key   string
+		count int
+		total time.Duration
+	}
+	t.mu.Lock()
+	byKey := make(map[string]*agg)
+	for _, s := range t.spans {
+		key := s.Cat + "/" + s.Name
+		a := byKey[key]
+		if a == nil {
+			a = &agg{key: key}
+			byKey[key] = a
+		}
+		a.count++
+		a.total += s.Dur
+	}
+	counters := make([]string, 0, len(t.counters))
+	values := make(map[string]int64, len(t.counters))
+	for name, v := range t.counters {
+		counters = append(counters, name)
+		values[name] = v
+	}
+	t.mu.Unlock()
+
+	aggs := make([]*agg, 0, len(byKey))
+	for _, a := range byKey {
+		aggs = append(aggs, a)
+	}
+	sort.Slice(aggs, func(i, j int) bool { return aggs[i].key < aggs[j].key })
+	sort.Strings(counters)
+
+	var b strings.Builder
+	b.WriteString("spans (cat/name, totals):\n")
+	for _, a := range aggs {
+		fmt.Fprintf(&b, "  %-40s n=%-5d total=%s\n", a.key, a.count, a.total.Round(time.Microsecond))
+	}
+	b.WriteString("counters:\n")
+	for _, name := range counters {
+		fmt.Fprintf(&b, "  %-40s %d\n", name, values[name])
+	}
+	return b.String()
+}

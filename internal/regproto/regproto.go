@@ -27,6 +27,9 @@ const (
 	StatsPath = "/v1/stats"
 	// HealthPath answers liveness checks (GET).
 	HealthPath = "/healthz"
+	// MetricsPath serves the same counters (plus per-endpoint request
+	// metrics) in Prometheus text exposition format (GET).
+	MetricsPath = "/metrics"
 )
 
 // ReportPath returns the endpoint of one fingerprint's report.
@@ -170,4 +173,14 @@ type Stats struct {
 	// TuneEvaluations counts objective evaluations the tune engine
 	// executed (coalesced requests share one search's evaluations).
 	TuneEvaluations int64 `json:"tune_evaluations"`
+	// StoreHits and StoreMisses count per-fingerprint store reads that
+	// found (or did not find) an entry — report GETs, probe-section
+	// GETs, and the cache lookups of on-demand runs.
+	StoreHits   int64 `json:"store_hits"`
+	StoreMisses int64 `json:"store_misses"`
+	// HTTPRequests counts served requests per endpoint label. The
+	// observability endpoints (stats, health, metrics) are excluded so
+	// that reading the stats does not change the next stats body:
+	// consecutive GET /v1/stats responses stay byte-identical.
+	HTTPRequests map[string]int64 `json:"http_requests,omitempty"`
 }

@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"strings"
 	"time"
+
+	"servet/internal/obs"
 )
 
 // Task is one unit of work in the DAG.
@@ -209,12 +211,19 @@ func Run(ctx context.Context, tasks []Task, parallelism int) ([]Result, error) {
 	finished := 0
 	aborted := false
 
+	// Task lifecycle spans record into the context's tracer (nil when
+	// the run is untraced): one "sched" span per task, from dispatch to
+	// completion, on a lane of its own while it is in flight.
+	tr := obs.FromContext(ctx)
+
 	start := func(i int) {
 		launched[i] = true
 		inFlight++
 		go func() {
+			sp := tr.Start("sched", tasks[i].Name)
 			t0 := time.Now() //servet:wallclock — task wall-time provenance (report Timings), never a measurement input
 			err := tasks[i].Run(runCtx)
+			sp.End()
 			//servet:wallclock
 			done <- completion{idx: i, wall: time.Since(t0), err: err}
 		}()

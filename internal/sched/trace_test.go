@@ -1,0 +1,42 @@
+package sched
+
+import (
+	"context"
+	"testing"
+
+	"servet/internal/obs"
+)
+
+// TestRunRecordsTaskSpans: a tracer carried by the context gets one
+// "sched" span per executed task; skipped tasks record nothing.
+func TestRunRecordsTaskSpans(t *testing.T) {
+	tracer := obs.New()
+	ctx := obs.WithTracer(context.Background(), tracer)
+	tasks := []Task{
+		{Name: "a", Run: func(ctx context.Context) error { return nil }},
+		{Name: "b", Deps: []string{"a"}, Run: func(ctx context.Context) error { return nil }},
+		{Name: "c", Run: func(ctx context.Context) error { return nil }},
+	}
+	if _, err := Run(ctx, tasks, 2); err != nil {
+		t.Fatal(err)
+	}
+	counts := tracer.SpanCounts()
+	for _, name := range []string{"a", "b", "c"} {
+		if counts["sched/"+name] != 1 {
+			t.Errorf("task %s recorded %d spans, want 1 (%v)", name, counts["sched/"+name], counts)
+		}
+	}
+}
+
+// TestRunWithoutTracerIsFine: no tracer in the context means every
+// recording call is a no-op and the run behaves identically.
+func TestRunWithoutTracerIsFine(t *testing.T) {
+	ran := false
+	tasks := []Task{{Name: "a", Run: func(ctx context.Context) error { ran = true; return nil }}}
+	if _, err := Run(context.Background(), tasks, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("task did not run")
+	}
+}

@@ -1,0 +1,283 @@
+package server_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"servet/internal/regproto"
+	"servet/internal/server"
+)
+
+// fetchMetrics GETs /metrics and returns the exposition body.
+func fetchMetrics(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url + regproto.MetricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics status = %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q, want text/plain exposition", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// TestMetricsEndpoint exercises the instrumented routes and asserts
+// the Prometheus exposition reflects them: request counters by
+// endpoint and status class, latency histograms, the in-flight gauge
+// and the store hit/miss counters.
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestRegistry(t)
+
+	// One stored report, one successful GET, one 404, one listing.
+	r := storeSample("sha256:abc", 16<<10)
+	if resp := putJSON(t, ts.URL+regproto.ReportPath("sha256:abc"), r); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("PUT status = %d", resp.StatusCode)
+	}
+	for _, path := range []string{
+		regproto.ReportPath("sha256:abc"),
+		regproto.ReportPath("sha256:nope"),
+		regproto.ReportsPath,
+		regproto.HealthPath,
+	} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+
+	body := fetchMetrics(t, ts.URL)
+	for _, want := range []string{
+		"# TYPE servet_http_requests_total counter",
+		"# TYPE servet_http_request_duration_seconds histogram",
+		"# TYPE servet_http_in_flight_requests gauge",
+		"# TYPE servet_run_sessions_total counter",
+		"# TYPE servet_store_requests_total counter",
+		`servet_http_requests_total{endpoint="reports.put",code="2xx"} 1`,
+		`servet_http_requests_total{endpoint="reports.get",code="2xx"} 1`,
+		`servet_http_requests_total{endpoint="reports.get",code="4xx"} 1`,
+		`servet_http_requests_total{endpoint="reports.list",code="2xx"} 1`,
+		`servet_http_requests_total{endpoint="health",code="2xx"} 1`,
+		`servet_http_request_duration_seconds_count{endpoint="reports.get"} 2`,
+		`servet_http_request_duration_seconds_bucket{endpoint="reports.get",le="+Inf"} 2`,
+		`servet_store_requests_total{result="hit"} 1`,
+		`servet_store_requests_total{result="miss"} 1`,
+		"servet_http_in_flight_requests 1", // the /metrics request itself
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition is missing %q", want)
+		}
+	}
+
+	// A second scrape shows the first one's request under the metrics
+	// endpoint label.
+	body = fetchMetrics(t, ts.URL)
+	if want := `servet_http_requests_total{endpoint="metrics",code="2xx"} 1`; !strings.Contains(body, want) {
+		t.Errorf("second exposition is missing %q", want)
+	}
+}
+
+// TestStatsHTTPRequests: /v1/stats carries per-endpoint request
+// totals and store hit/miss counts, but never counts the
+// observability endpoints themselves — so reading stats (or metrics,
+// or health) cannot change the next stats body.
+func TestStatsHTTPRequests(t *testing.T) {
+	_, ts := newTestRegistry(t)
+
+	r := storeSample("sha256:abc", 16<<10)
+	if resp := putJSON(t, ts.URL+regproto.ReportPath("sha256:abc"), r); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("PUT status = %d", resp.StatusCode)
+	}
+	resp, err := http.Get(ts.URL + regproto.ReportPath("sha256:abc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	getStats := func() ([]byte, regproto.Stats) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + regproto.StatsPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st regproto.Stats
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatal(err)
+		}
+		return body, st
+	}
+
+	body1, st := getStats()
+	if st.HTTPRequests["reports.put"] != 1 || st.HTTPRequests["reports.get"] != 1 {
+		t.Errorf("HTTPRequests = %v, want put and get counted once", st.HTTPRequests)
+	}
+	if st.StoreHits != 1 || st.StoreMisses != 0 {
+		t.Errorf("store hits/misses = %d/%d, want 1/0", st.StoreHits, st.StoreMisses)
+	}
+	for _, ep := range []string{"stats", "health", "metrics"} {
+		if _, ok := st.HTTPRequests[ep]; ok {
+			t.Errorf("HTTPRequests counts observability endpoint %q", ep)
+		}
+	}
+
+	// Scraping stats, metrics and health must leave the stats body
+	// byte-identical.
+	fetchMetrics(t, ts.URL)
+	if resp, err := http.Get(ts.URL + regproto.HealthPath); err == nil {
+		resp.Body.Close()
+	}
+	body2, _ := getStats()
+	if !bytes.Equal(body1, body2) {
+		t.Errorf("stats body changed after observability reads:\n%s\nvs\n%s", body1, body2)
+	}
+}
+
+// TestAccessLog: a registry built with WithAccessLog emits one
+// structured line per served request, labeled with the route's
+// endpoint and the response status.
+func TestAccessLog(t *testing.T) {
+	var buf bytes.Buffer
+	var mu sync.Mutex
+	logger := slog.New(slog.NewJSONHandler(syncWriter{&mu, &buf}, nil))
+	reg := server.New(server.NewMemStore(), server.WithAccessLog(logger))
+	ts := httptest.NewServer(reg)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + regproto.ReportPath("sha256:nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	mu.Lock()
+	out := buf.String()
+	mu.Unlock()
+	var line map[string]any
+	if err := json.Unmarshal([]byte(strings.SplitN(out, "\n", 2)[0]), &line); err != nil {
+		t.Fatalf("access log is not JSON lines: %v\n%s", err, out)
+	}
+	if line["endpoint"] != "reports.get" || line["status"] != float64(http.StatusNotFound) {
+		t.Errorf("access log line = %v, want endpoint=reports.get status=404", line)
+	}
+	if line["method"] != "GET" || line["path"] != regproto.ReportPath("sha256:nope") {
+		t.Errorf("access log line = %v, want method/path recorded", line)
+	}
+}
+
+// syncWriter serializes writes from concurrent request goroutines.
+type syncWriter struct {
+	mu *sync.Mutex
+	w  io.Writer
+}
+
+func (s syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}
+
+// TestStatsUnderConcurrentLoad hammers GET /v1/stats and GET /metrics
+// while runs and tunes execute concurrently — under -race this proves
+// every counter the observability surfaces read is synchronized with
+// the handlers incrementing them.
+func TestStatsUnderConcurrentLoad(t *testing.T) {
+	reg, ts := newTestRegistry(t)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+regproto.RunPath, "application/json",
+				strings.NewReader(`{"machine":"dempsey","quick":true,"probes":["cache-size"]}`))
+			if err != nil {
+				errs <- err
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("run status %d", resp.StatusCode)
+			}
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+regproto.TunePath, "application/json", strings.NewReader(tuneBody))
+			if err != nil {
+				errs <- err
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("tune status %d", resp.StatusCode)
+			}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 10; j++ {
+				resp, err := http.Get(ts.URL + regproto.StatsPath)
+				if err != nil {
+					errs <- err
+					return
+				}
+				var st regproto.Stats
+				if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+					errs <- err
+				}
+				resp.Body.Close()
+				mresp, err := http.Get(ts.URL + regproto.MetricsPath)
+				if err != nil {
+					errs <- err
+					return
+				}
+				io.Copy(io.Discard, mresp.Body)
+				mresp.Body.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	st := reg.Stats()
+	if st.RunSessions < 1 {
+		t.Errorf("RunSessions = %d, want >= 1", st.RunSessions)
+	}
+	if st.TuneRequests != 2 {
+		t.Errorf("TuneRequests = %d, want 2", st.TuneRequests)
+	}
+	if got := st.HTTPRequests["run"]; got != 4 {
+		t.Errorf("HTTPRequests[run] = %d, want 4", got)
+	}
+}

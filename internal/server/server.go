@@ -18,6 +18,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -58,6 +59,14 @@ type Registry struct {
 	tuneRequests    atomic.Int64
 	tunesCoalesced  atomic.Int64
 	tuneEvaluations atomic.Int64
+
+	storeHits   atomic.Int64
+	storeMisses atomic.Int64
+
+	// metrics is the per-endpoint HTTP metrics layer (see metrics.go);
+	// accessLog, when set, records one structured line per request.
+	metrics   *httpMetrics
+	accessLog *slog.Logger
 }
 
 // fingerprintLock returns the mutex serializing writes to one
@@ -99,21 +108,22 @@ func WithBaseContext(ctx context.Context) Option {
 
 // New builds a registry over the store.
 func New(store Store, opts ...Option) *Registry {
-	reg := &Registry{store: store, parallelism: 1, baseCtx: context.Background()}
+	reg := &Registry{store: store, parallelism: 1, baseCtx: context.Background(), metrics: newHTTPMetrics()}
 	for _, o := range opts {
 		o(reg)
 	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET "+regproto.ReportsPath, reg.handleList)
-	mux.HandleFunc("GET "+regproto.ReportsPath+"/{fingerprint}", reg.handleGetReport)
-	mux.HandleFunc("PUT "+regproto.ReportsPath+"/{fingerprint}", reg.handlePutReport)
-	mux.HandleFunc("GET "+regproto.ReportsPath+"/{fingerprint}/probes/{probe}", reg.handleGetProbe)
-	mux.HandleFunc("POST "+regproto.RunPath, reg.handleRun)
-	mux.HandleFunc("POST "+regproto.TunePath, reg.handleTune)
-	mux.HandleFunc("GET "+regproto.StatsPath, reg.handleStats)
-	mux.HandleFunc("GET "+regproto.HealthPath, func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("GET "+regproto.ReportsPath, reg.instrument(epList, reg.handleList))
+	mux.HandleFunc("GET "+regproto.ReportsPath+"/{fingerprint}", reg.instrument(epGet, reg.handleGetReport))
+	mux.HandleFunc("PUT "+regproto.ReportsPath+"/{fingerprint}", reg.instrument(epPut, reg.handlePutReport))
+	mux.HandleFunc("GET "+regproto.ReportsPath+"/{fingerprint}/probes/{probe}", reg.instrument(epProbe, reg.handleGetProbe))
+	mux.HandleFunc("POST "+regproto.RunPath, reg.instrument(epRun, reg.handleRun))
+	mux.HandleFunc("POST "+regproto.TunePath, reg.instrument(epTune, reg.handleTune))
+	mux.HandleFunc("GET "+regproto.StatsPath, reg.instrument(epStats, reg.handleStats))
+	mux.HandleFunc("GET "+regproto.HealthPath, reg.instrument(epHealth, func(w http.ResponseWriter, _ *http.Request) {
 		w.Write([]byte("ok\n"))
-	})
+	}))
+	mux.HandleFunc("GET "+regproto.MetricsPath, reg.instrument(epMetrics, reg.handleMetrics))
 	reg.mux = mux
 	return reg
 }
@@ -123,16 +133,33 @@ func (reg *Registry) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 	reg.mux.ServeHTTP(w, req)
 }
 
-// Stats returns the registry's run counters.
+// Stats returns the registry's run counters, store hit/miss counts,
+// and per-endpoint request totals. The observability endpoints
+// (stats, health, metrics) are excluded from the request map so that
+// reading the stats never changes the next stats body.
 func (reg *Registry) Stats() regproto.Stats {
-	return regproto.Stats{
+	st := regproto.Stats{
 		RunSessions:     reg.runSessions.Load(),
 		RunsCoalesced:   reg.runsCoalesced.Load(),
 		ProbesExecuted:  reg.probesExecuted.Load(),
 		TuneRequests:    reg.tuneRequests.Load(),
 		TunesCoalesced:  reg.tunesCoalesced.Load(),
 		TuneEvaluations: reg.tuneEvaluations.Load(),
+		StoreHits:       reg.storeHits.Load(),
+		StoreMisses:     reg.storeMisses.Load(),
 	}
+	for _, ep := range endpoints {
+		if statsExcluded[ep] {
+			continue
+		}
+		if n := reg.metrics.byEndpoint[ep].total(); n > 0 {
+			if st.HTTPRequests == nil {
+				st.HTTPRequests = make(map[string]int64)
+			}
+			st.HTTPRequests[ep] = n
+		}
+	}
+	return st
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -165,11 +192,27 @@ func (reg *Registry) handleList(w http.ResponseWriter, req *http.Request) {
 	writeJSON(w, http.StatusOK, entries)
 }
 
+// storeGet is the counted read path of the per-fingerprint store:
+// every report GET, probe-section GET and run cache lookup goes
+// through it, so the hit/miss counters in Stats and /metrics cover
+// all of them. Only a definite absence counts as a miss; a failing
+// store counts as neither.
+func (reg *Registry) storeGet(fp string) (*report.Report, error) {
+	r, err := reg.store.Get(fp)
+	switch {
+	case err == nil:
+		reg.storeHits.Add(1)
+	case errors.Is(err, ErrNotFound):
+		reg.storeMisses.Add(1)
+	}
+	return r, err
+}
+
 // handleGetReport serves GET /v1/reports/{fingerprint}: the full
 // stored report, or 404.
 func (reg *Registry) handleGetReport(w http.ResponseWriter, req *http.Request) {
 	fp := req.PathValue("fingerprint")
-	r, err := reg.store.Get(fp)
+	r, err := reg.storeGet(fp)
 	if err != nil {
 		status, e := storeErr(err, fp)
 		writeError(w, status, e)
@@ -233,7 +276,7 @@ func (reg *Registry) handlePutReport(w http.ResponseWriter, req *http.Request) {
 // provenance for are 404.
 func (reg *Registry) handleGetProbe(w http.ResponseWriter, req *http.Request) {
 	fp, probe := req.PathValue("fingerprint"), req.PathValue("probe")
-	r, err := reg.store.Get(fp)
+	r, err := reg.storeGet(fp)
 	if err != nil {
 		status, e := storeErr(err, fp)
 		writeError(w, status, e)
@@ -320,6 +363,7 @@ func (reg *Registry) handleRun(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	if shared {
+		reg.runsCoalesced.Add(1)
 		w.Header().Set("Servet-Run", "coalesced")
 	} else {
 		w.Header().Set("Servet-Run", "executed")
@@ -351,7 +395,7 @@ func (reg *Registry) resolveRun(m *servet.Machine, rr regproto.RunRequest) (rep 
 		lock.Lock()
 		defer lock.Unlock()
 		opts := []servet.Option{
-			servet.WithCache(storeCache{reg.store}),
+			servet.WithCache(storeCache{reg}),
 			servet.WithParallelism(reg.parallelism),
 			servet.WithSeed(rr.Seed),
 			servet.WithNoise(rr.Noise),
@@ -492,13 +536,15 @@ func storeErr(err error, fp string) (int, regproto.Error) {
 // storeCache adapts the registry's Store to the session Cache
 // interface, so on-demand runs restore fresh sections straight from
 // the registry and store the merged report back — the same
-// incremental machinery a local FileCache session uses.
-type storeCache struct{ s Store }
+// incremental machinery a local FileCache session uses. Reads go
+// through the registry's counted storeGet, so run-triggered lookups
+// show up in the hit/miss counters alongside report GETs.
+type storeCache struct{ reg *Registry }
 
 // Lookup implements servet.Cache; any store failure is a miss (the
 // session then measures everything), matching the cache contract.
 func (c storeCache) Lookup(fingerprint string) (*servet.Report, bool) {
-	r, err := c.s.Get(fingerprint)
+	r, err := c.reg.storeGet(fingerprint)
 	if err != nil {
 		return nil, false
 	}
@@ -507,5 +553,5 @@ func (c storeCache) Lookup(fingerprint string) (*servet.Report, bool) {
 
 // Store implements servet.Cache.
 func (c storeCache) Store(fingerprint string, r *servet.Report) error {
-	return c.s.Put(r)
+	return c.reg.store.Put(r)
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"time"
 
+	"servet/internal/obs"
 	"servet/internal/report"
 	"servet/internal/sched"
 )
@@ -159,6 +160,13 @@ func Tune(ctx context.Context, r *report.Report, sp Space, obj Objective, opt Op
 		return nil, err
 	}
 
+	// The search records into the context's tracer (nil when untraced):
+	// one "tune" span over the whole search, one per proposal round, and
+	// evaluation counters — none of which feed back into the search.
+	tr := obs.FromContext(ctx)
+	search := tr.Start("tune", "search:"+strat.Name())
+	defer search.End()
+
 	start := time.Now() //servet:wallclock — result provenance (Timestamp/Wall), never a search input
 	hist := &History{
 		Space:  &sp,
@@ -202,7 +210,9 @@ func Tune(ctx context.Context, r *report.Report, sp Space, obj Objective, opt Op
 		}
 		barren = 0
 
+		round := tr.Start("tune", fmt.Sprintf("round:%d", hist.Round))
 		scores, err := evalBatch(ctx, r, &sp, obj, fresh, opt.Parallelism)
+		round.End()
 		if err != nil {
 			return nil, err
 		}
@@ -261,6 +271,9 @@ func Tune(ctx context.Context, r *report.Report, sp Space, obj Objective, opt Op
 func evalBatch(ctx context.Context, r *report.Report, sp *Space, obj Objective, pts []Point, parallelism int) ([]float64, error) {
 	scores := make([]float64, len(pts))
 	ranges := chunkRanges(len(pts), parallelism)
+	// Chunk spans and evaluation counters record into the context's
+	// tracer (nil when untraced).
+	tr := obs.FromContext(ctx)
 	se, pooled := obj.(scratchEvaluator)
 	var pool chan any
 	if pooled {
@@ -272,6 +285,8 @@ func evalBatch(ctx context.Context, r *report.Report, sp *Space, obj Objective, 
 		tasks = append(tasks, sched.Task{
 			Name: fmt.Sprintf("tune:%d", ci),
 			Run: func(ctx context.Context) error {
+				ev := tr.Start("tune", "eval:"+obj.Name())
+				defer ev.End()
 				var scratch any
 				if pooled {
 					defer func() {
@@ -296,6 +311,7 @@ func evalBatch(ctx context.Context, r *report.Report, sp *Space, obj Objective, 
 							case scratch = <-pool:
 							default:
 								scratch, err = se.newScratch(r)
+								tr.Count(obs.CounterTuneScratchFresh, 1)
 							}
 						}
 						if err == nil {
@@ -307,6 +323,7 @@ func evalBatch(ctx context.Context, r *report.Report, sp *Space, obj Objective, 
 					if err != nil {
 						return fmt.Errorf("tune: objective %s on [%s]: %w", obj.Name(), sp.Describe(sp.Materialize(pts[i])), err)
 					}
+					tr.Count(obs.CounterTuneEvaluations, 1)
 					scores[i] = s
 				}
 				return nil

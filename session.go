@@ -8,6 +8,7 @@ import (
 
 	"servet/internal/core"
 	"servet/internal/memsys"
+	"servet/internal/obs"
 	"servet/internal/report"
 )
 
@@ -176,6 +177,13 @@ func (s *Session) Options() Options { return s.suite.Options() }
 // are still consistent with this run, so a subset re-run narrows
 // neither the report nor the install-time file.
 func (s *Session) Run(ctx context.Context, probes ...string) (*Report, error) {
+	// The run records into the context's tracer (nil when untraced):
+	// one "session" span over the whole run plus cache spans and
+	// restored-vs-ran counters. None of it feeds back into the report.
+	tr := obs.FromContext(ctx)
+	sp := tr.Start("session", "run")
+	defer sp.End()
+
 	closure, err := core.ProbeClosureNames(probes...)
 	if err != nil {
 		return nil, err
@@ -191,8 +199,14 @@ func (s *Session) Run(ctx context.Context, probes ...string) (*Report, error) {
 
 	var cached *Report
 	if s.cache != nil {
-		if r, ok := s.cache.Lookup(s.fingerprint); ok {
+		lk := tr.Start("session", "cache-lookup")
+		r, ok := s.cache.Lookup(s.fingerprint)
+		lk.End()
+		if ok {
 			cached = r
+			tr.Count(obs.CounterCacheHit, 1)
+		} else {
+			tr.Count(obs.CounterCacheMiss, 1)
 		}
 	}
 
@@ -230,10 +244,12 @@ func (s *Session) Run(ctx context.Context, probes ...string) (*Report, error) {
 		seeded[name] = part
 	}
 
-	rep, _, err := s.suite.RunSeeded(ctx, seeded, closure...)
+	rep, executed, err := s.suite.RunSeeded(ctx, seeded, closure...)
 	if err != nil {
 		return nil, err
 	}
+	tr.Count(obs.CounterProbesRestored, int64(len(seeded)))
+	tr.Count(obs.CounterProbesRan, int64(len(executed)))
 
 	rep.Schema = report.CurrentSchema
 	rep.Fingerprint = s.fingerprint
@@ -271,7 +287,10 @@ func (s *Session) Run(ctx context.Context, probes ...string) (*Report, error) {
 	}
 
 	if s.cache != nil {
-		if err := s.cache.Store(s.fingerprint, rep); err != nil {
+		st := tr.Start("session", "cache-store")
+		err := s.cache.Store(s.fingerprint, rep)
+		st.End()
+		if err != nil {
 			return nil, fmt.Errorf("servet: cache store: %w", err)
 		}
 	}
